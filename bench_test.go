@@ -1,0 +1,350 @@
+package minraid_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Absolute numbers are
+// hardware-bound (the paper ran VAX/SUN-era machines with a measured 9 ms
+// per inter-process message; these benches default to zero injected
+// latency) — the ratios are what reproduce the paper:
+//
+//	E1-T1  BenchmarkTxnFailLocksOn vs BenchmarkTxnFailLocksOff
+//	       (paper: 186 vs 176 ms coordinator — a small overhead)
+//	E1-T2  BenchmarkControlType1 / BenchmarkControlType2
+//	       (paper: 190 ms recovering / 50 ms operational / 68 ms type 2)
+//	E1-T3  BenchmarkTxnWithCopier vs BenchmarkTxnFailLocksOn
+//	       (paper: 270 vs 186 ms, +45%)
+//	F1     BenchmarkFigure1Cycle (full failure/recovery cycle)
+//	F2/F3  BenchmarkScenario1 / BenchmarkScenario2
+//
+// Ablations: policy comparison, WAL-backed storage, two-step recovery,
+// read-fraction sensitivity.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minraid"
+)
+
+// benchAckTimeout is deliberately generous: across tens of thousands of
+// iterations a tight timeout turns one GC pause or scheduler hiccup into a
+// spurious failure detection and a poisoned run. Failure-detection costs
+// are timeout-dominated by construction (the paper's too); benches that
+// include a detection window say so in their comments.
+const benchAckTimeout = 250 * time.Millisecond
+
+// benchCluster builds a cluster sized like experiment 1 (§2.2).
+func benchCluster(b *testing.B, cfg minraid.ClusterConfig) *minraid.Cluster {
+	b.Helper()
+	if cfg.Sites == 0 {
+		cfg.Sites = 4
+	}
+	if cfg.Items == 0 {
+		cfg.Items = 50
+	}
+	if cfg.AckTimeout == 0 {
+		cfg.AckTimeout = benchAckTimeout
+	}
+	c, err := minraid.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+// runTxns drives n transactions of the paper's workload round-robin over
+// the sites, failing the bench on abort.
+func runTxns(b *testing.B, c *minraid.Cluster, gen minraid.Generator, n, sites int) {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		id := c.NextTxnID()
+		res, err := c.ExecTxn(minraid.SiteID(i%sites), id, gen.Next(id))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Committed {
+			b.Fatalf("abort: %s", res.AbortReason)
+		}
+	}
+}
+
+// E1-T1: coordinator+participant transaction cost with fail-lock
+// maintenance included (the "with fail-locks code" column).
+func BenchmarkTxnFailLocksOn(b *testing.B) {
+	c := benchCluster(b, minraid.ClusterConfig{})
+	gen := minraid.NewUniformWorkload(50, 10, 1)
+	b.ResetTimer()
+	runTxns(b, c, gen, b.N, 4)
+}
+
+// E1-T1: the "without fail-locks code" column.
+func BenchmarkTxnFailLocksOff(b *testing.B) {
+	c := benchCluster(b, minraid.ClusterConfig{DisableFailLockMaintenance: true})
+	gen := minraid.NewUniformWorkload(50, 10, 1)
+	b.ResetTimer()
+	runTxns(b, c, gen, b.N, 4)
+}
+
+// E1-T2: one failure/recovery cycle per iteration; the type-1 control
+// transaction dominates (announcement to every operational site plus
+// vector+fail-lock installation).
+func BenchmarkControlType1(b *testing.B) {
+	c := benchCluster(b, minraid.ClusterConfig{})
+	gen := minraid.NewUniformWorkload(50, 10, 2)
+	// Converge vectors once so each iteration is identical.
+	runTxns(b, c, gen, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// No detection cycle: type 1 does not require the others to have
+		// noticed the failure, and skipping it keeps the off-timer cost
+		// per iteration negligible.
+		if err := c.Fail(0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := c.Recover(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E1-T2: the type-2 (failure announcement) path, measured as the
+// detection transaction that times out, aborts, and announces.
+func BenchmarkControlType2(b *testing.B) {
+	c := benchCluster(b, minraid.ClusterConfig{})
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := c.Fail(0); err != nil {
+			b.Fatal(err)
+		}
+		id := c.NextTxnID()
+		b.StartTimer()
+		// The transaction's cost = ack timeout + abort + type 2.
+		res, err := c.ExecTxn(1, id, []minraid.Op{minraid.Write(0, []byte("detect"))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Committed {
+			b.Fatal("detection txn committed")
+		}
+		b.StopTimer()
+		if _, err := c.Recover(0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// E1-T3: a database transaction that triggers one copier transaction
+// (read of a fail-locked copy on a recovering site). Compare against
+// BenchmarkTxnFailLocksOn for the paper's +45%.
+func BenchmarkTxnWithCopier(b *testing.B) {
+	c := benchCluster(b, minraid.ClusterConfig{})
+	gen := minraid.NewUniformWorkload(50, 10, 3)
+	runTxns(b, c, gen, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Make site 0's copy of the item fail-locked directly (a real
+		// failure-detection cycle per iteration would cost an ack
+		// timeout of off-timer wall clock each); the measured
+		// transaction then runs the full copier path: copy request to
+		// the donor, install, clear, and the clear-fail-locks special
+		// transaction to every other site.
+		item := minraid.ItemID(i % 50)
+		c.Site(0).InjectFailLock(item, 0)
+		id := c.NextTxnID()
+		b.StartTimer()
+		res, err := c.ExecTxn(0, id, []minraid.Op{minraid.Read(item), minraid.Write(item, []byte("w"))})
+		if err != nil || !res.Committed {
+			b.Fatalf("copier txn: %v %v", res, err)
+		}
+		if res.Copiers != 1 {
+			b.Fatalf("copiers = %d", res.Copiers)
+		}
+	}
+}
+
+// F1: a complete Figure-1 cycle — 100 transactions with site 0 down,
+// recovery, then transactions until every fail-lock clears.
+func BenchmarkFigure1Cycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := minraid.RunSchedule(
+			minraid.ExperimentConfig{Sites: 2, Items: 50, MaxOps: 5, Seed: int64(i + 1), AckTimeout: benchAckTimeout},
+			minraid.Figure1Schedule(0), 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FullyRecoveredAt == 0 {
+			b.Fatal("never recovered")
+		}
+		b.ReportMetric(float64(res.FullyRecoveredAt-100), "recovery-txns")
+		b.ReportMetric(float64(res.Copiers), "copiers")
+	}
+}
+
+// F2: scenario 1 (alternating failures on two sites, 120 transactions).
+func BenchmarkScenario1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := minraid.RunSchedule(
+			minraid.ExperimentConfig{Sites: 2, Items: 50, MaxOps: 5, Seed: int64(i + 1), AckTimeout: benchAckTimeout},
+			minraid.Scenario1Schedule(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.DataAborts), "data-aborts")
+	}
+}
+
+// F3: scenario 2 (rolling failures over four sites, 160 transactions).
+func BenchmarkScenario2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := minraid.RunSchedule(
+			minraid.ExperimentConfig{Sites: 4, Items: 50, MaxOps: 5, Seed: int64(i + 1), AckTimeout: benchAckTimeout},
+			minraid.Scenario2Schedule(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DataAborts != 0 {
+			b.Fatalf("scenario 2 had %d data aborts", res.DataAborts)
+		}
+	}
+}
+
+// Ablation: transaction cost under each replication policy (healthy
+// system). ROWAA ≈ ROWA here; quorum pays a read round trip.
+func BenchmarkPolicy(b *testing.B) {
+	for _, p := range []minraid.Policy{minraid.ROWAA(), minraid.ROWA(), minraid.Quorum()} {
+		b.Run(p.Name(), func(b *testing.B) {
+			c := benchCluster(b, minraid.ClusterConfig{Policy: p})
+			gen := minraid.NewUniformWorkload(50, 10, 4)
+			b.ResetTimer()
+			runTxns(b, c, gen, b.N, 4)
+		})
+	}
+}
+
+// Ablation: the data-I/O path the paper factored out — WAL-backed stores
+// vs in-memory stores.
+func BenchmarkStorage(b *testing.B) {
+	b.Run("mem", func(b *testing.B) {
+		c := benchCluster(b, minraid.ClusterConfig{})
+		gen := minraid.NewUniformWorkload(50, 10, 5)
+		b.ResetTimer()
+		runTxns(b, c, gen, b.N, 4)
+	})
+	b.Run("wal", func(b *testing.B) {
+		dir := b.TempDir()
+		c := benchCluster(b, minraid.ClusterConfig{
+			StoreFactory: func(id minraid.SiteID) (minraid.Store, error) {
+				return minraid.OpenWALStore(fmt.Sprintf("%s/site%d", dir, id), 50)
+			},
+		})
+		gen := minraid.NewUniformWorkload(50, 10, 5)
+		b.ResetTimer()
+		runTxns(b, c, gen, b.N, 4)
+	})
+}
+
+// Ablation: two-step recovery (§3.2) vs demand-driven recovery — compare
+// the recovery-txns metric with BenchmarkFigure1Cycle's.
+func BenchmarkTwoStepRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := minraid.RunSchedule(
+			minraid.ExperimentConfig{
+				Sites: 2, Items: 50, MaxOps: 5, Seed: int64(i + 1),
+				AckTimeout:           benchAckTimeout,
+				BatchCopierThreshold: 0.5,
+			},
+			minraid.Figure1Schedule(0), 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FullyRecoveredAt == 0 {
+			b.Fatal("never recovered")
+		}
+		b.ReportMetric(float64(res.FullyRecoveredAt-100), "recovery-txns")
+	}
+}
+
+// Ablation: workload generators over a healthy 4-site system.
+func BenchmarkWorkloads(b *testing.B) {
+	gens := map[string]func() minraid.Generator{
+		"uniform":   func() minraid.Generator { return minraid.NewUniformWorkload(500, 10, 6) },
+		"et1":       func() minraid.Generator { return minraid.NewET1Workload(500, 6) },
+		"wisconsin": func() minraid.Generator { return minraid.NewWisconsinWorkload(500, 6) },
+		"hotcold":   func() minraid.Generator { return minraid.NewHotColdWorkload(500, 50, 10, 6) },
+	}
+	for name, mk := range gens {
+		b.Run(name, func(b *testing.B) {
+			c := benchCluster(b, minraid.ClusterConfig{Items: 500})
+			gen := mk()
+			b.ResetTimer()
+			runTxns(b, c, gen, b.N, 4)
+		})
+	}
+}
+
+// Ablation: replication degree — fewer copies mean cheaper writes but
+// remote reads; see also the availability sweep in raid-experiments.
+func BenchmarkReplicationDegree(b *testing.B) {
+	for _, degree := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("r%d", degree), func(b *testing.B) {
+			c := benchCluster(b, minraid.ClusterConfig{ReplicationDegree: degree})
+			gen := minraid.NewUniformWorkload(50, 10, 7)
+			b.ResetTimer()
+			runTxns(b, c, gen, b.N, 4)
+		})
+	}
+}
+
+// Extension: interleaved execution under distributed strict 2PL (the
+// paper's deferred concurrency-control future work). Parallel clients on
+// disjoint working sets show the throughput headroom serial processing
+// leaves on the table.
+func BenchmarkConcurrency(b *testing.B) {
+	for _, degree := range []int{1, 4} {
+		b.Run(fmt.Sprintf("txns%d", degree), func(b *testing.B) {
+			// A realistic per-hop latency is injected: with free messages
+			// the lock bookkeeping dominates and serial wins; with real
+			// message costs (the paper's world, 9 ms per hop) interleaving
+			// overlaps the waits.
+			c := benchCluster(b, minraid.ClusterConfig{
+				Items: 256, ConcurrentTxns: degree,
+				Delay: 500 * time.Microsecond,
+			})
+			// All clients target ONE coordinator: the paper's serial
+			// processing admits a single in-flight transaction per site,
+			// so queueing at the gate is what concurrency removes.
+			b.ResetTimer()
+			b.SetParallelism(2)
+			var worker int32
+			b.RunParallel(func(pb *testing.PB) {
+				// Each parallel client works a disjoint item range so
+				// contention does not mask the pipelining gain.
+				base := minraid.ItemID((atomicAdd(&worker) % 8) * 32)
+				i := 0
+				for pb.Next() {
+					id := c.NextTxnID()
+					item := base + minraid.ItemID(i%32)
+					res, err := c.ExecTxn(0, id, []minraid.Op{
+						minraid.Read(item),
+						minraid.Write(item, []byte("bench")),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Committed {
+						b.Fatalf("abort: %s", res.AbortReason)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+func atomicAdd(p *int32) int32 { return atomic.AddInt32(p, 1) }

@@ -1,0 +1,266 @@
+// Command minraid is the interactive managing site: it builds an
+// in-process mini-RAID cluster and exposes the control actions the paper's
+// managing site provided — "to cause sites to fail and recover and to
+// initiate a database transaction to a site" (§1.2) — as a small REPL.
+//
+//	minraid -sites 4 -items 50 -delay 9ms
+//
+//	> txn 1 r3 w5=hello r5        run a transaction on coordinator 1
+//	> random 0                    run one generated transaction on site 0
+//	> fail 0                      simulate failure of site 0
+//	> recover 0                   begin recovery of site 0
+//	> status                      session vectors, states, fail-locks
+//	> faillocks                   fail-lock counts per site
+//	> audit                       cross-site consistency audit
+//	> stats                       per-site counters and timers
+//	> help / quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"minraid"
+	"minraid/internal/cli"
+)
+
+func main() {
+	var (
+		sites      = flag.Int("sites", 4, "number of database sites")
+		items      = flag.Int("items", 50, "database size in data items")
+		maxOps     = flag.Int("maxops", 10, "maximum operations per generated transaction")
+		delay      = flag.Duration("delay", 0, "per-hop communication cost")
+		pol        = flag.String("policy", "rowaa", "replication policy: rowaa, rowa, quorum")
+		seed       = flag.Int64("seed", time.Now().UnixNano(), "workload RNG seed")
+		degree     = flag.Int("replicas", 0, "copies per item (0 = full replication)")
+		concurrent = flag.Int("concurrent", 0, "max interleaved txns per site (0/1 = serial, as the paper)")
+	)
+	flag.Parse()
+
+	var p minraid.Policy
+	switch *pol {
+	case "rowaa":
+		p = minraid.ROWAA()
+	case "rowa":
+		p = minraid.ROWA()
+	case "quorum":
+		p = minraid.Quorum()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *pol)
+		os.Exit(2)
+	}
+
+	c, err := minraid.NewCluster(minraid.ClusterConfig{
+		Sites: *sites, Items: *items, Policy: p, Delay: *delay,
+		ReplicationDegree: *degree, ConcurrentTxns: *concurrent,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	gen := minraid.NewUniformWorkload(*items, *maxOps, *seed)
+
+	fmt.Printf("mini-RAID managing site: %d sites, %d items, policy %s, delay %v\n",
+		*sites, *items, p.Name(), *delay)
+	fmt.Println(`type "help" for commands`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			printHelp()
+		case "txn":
+			cmdTxn(c, fields[1:])
+		case "random":
+			cmdRandom(c, gen, fields[1:])
+		case "fail":
+			withSite(fields[1:], func(id minraid.SiteID) {
+				if err := c.Fail(id); err != nil {
+					fmt.Println("error:", err)
+					return
+				}
+				fmt.Printf("%s is down\n", id)
+			})
+		case "recover":
+			withSite(fields[1:], func(id minraid.SiteID) {
+				st, err := c.Recover(id)
+				if err != nil {
+					fmt.Println("error:", err)
+					return
+				}
+				fmt.Printf("%s is %s (session %d)\n", id, st.State, st.Session)
+			})
+		case "status":
+			cmdStatus(c, *sites)
+		case "faillocks":
+			cmdFailLocks(c, *sites)
+		case "audit":
+			report, err := c.Audit()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(report)
+		case "stats":
+			cmdStats(c, *sites)
+		case "figure1", "figure2", "figure3":
+			cmdFigure(fields[0], *delay)
+		default:
+			fmt.Printf("unknown command %q; try help\n", fields[0])
+		}
+	}
+}
+
+func printHelp() {
+	fmt.Print(`commands:
+  txn <site> <op>...   run a transaction; ops: rN (read item N), wN=value
+  random <site>        run one randomly generated transaction
+  fail <site>          simulate site failure
+  recover <site>       begin site recovery (control transaction type 1)
+  status               site states and session vectors
+  faillocks            items fail-locked per site
+  audit                cross-site consistency audit
+  stats                per-site protocol counters
+  figure1|2|3          reproduce a paper figure (on a fresh cluster)
+  quit
+`)
+}
+
+func withSite(args []string, fn func(minraid.SiteID)) {
+	if len(args) != 1 {
+		fmt.Println("usage: <command> <site>")
+		return
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		fmt.Println("bad site id:", args[0])
+		return
+	}
+	fn(minraid.SiteID(n))
+}
+
+func cmdTxn(c *minraid.Cluster, args []string) {
+	if len(args) < 2 {
+		fmt.Println("usage: txn <site> <op>...  (ops: r3, w5=hello)")
+		return
+	}
+	coord, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Println("bad site id:", args[0])
+		return
+	}
+	ops, err := cli.ParseOps(args[1:])
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResult(c.Exec(minraid.SiteID(coord), ops))
+}
+
+func cmdRandom(c *minraid.Cluster, gen minraid.Generator, args []string) {
+	if len(args) != 1 {
+		fmt.Println("usage: random <site>")
+		return
+	}
+	coord, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Println("bad site id:", args[0])
+		return
+	}
+	id := c.NextTxnID()
+	ops := gen.Next(id)
+	fmt.Print("generated:")
+	for _, op := range ops {
+		fmt.Printf(" %s", op)
+	}
+	fmt.Println()
+	printResult(c.ExecTxn(minraid.SiteID(coord), id, ops))
+}
+
+func printResult(res *minraid.TxnResult, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(cli.FormatResult(res))
+}
+
+func cmdStatus(c *minraid.Cluster, sites int) {
+	for i := 0; i < sites; i++ {
+		st, err := c.Status(minraid.SiteID(i), false)
+		if err != nil {
+			fmt.Printf("site %d: unreachable (%v)\n", i, err)
+			continue
+		}
+		fmt.Printf("site %d: %-11s session %-3d vector %s\n",
+			i, st.State, st.Session, cli.FormatVector(st.Vector))
+	}
+}
+
+func cmdFailLocks(c *minraid.Cluster, sites int) {
+	// Report from the first operational site's table.
+	for i := 0; i < sites; i++ {
+		st, err := c.Status(minraid.SiteID(i), false)
+		if err != nil || st.State != minraid.StatusUp {
+			continue
+		}
+		fmt.Printf("as observed by site %d:\n", i)
+		for k, n := range st.FailLockCounts {
+			fmt.Printf("  site %d: %d item(s) fail-locked\n", k, n)
+		}
+		return
+	}
+	fmt.Println("no operational site to report")
+}
+
+func cmdFigure(which string, delay time.Duration) {
+	cfg := minraid.ExperimentConfig{Delay: delay}
+	var (
+		out fmt.Stringer
+		err error
+	)
+	switch which {
+	case "figure1":
+		out, err = minraid.RunFigure1(cfg, 2000)
+	case "figure2":
+		out, err = minraid.RunFigure2(cfg)
+	case "figure3":
+		out, err = minraid.RunFigure3(cfg)
+	}
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(out)
+}
+
+func cmdStats(c *minraid.Cluster, sites int) {
+	for i := 0; i < sites; i++ {
+		st, err := c.Status(minraid.SiteID(i), false)
+		if err != nil {
+			continue
+		}
+		s := st.Stats
+		fmt.Printf("site %d: committed=%d aborted=%d participated=%d copiers=%d served=%d flSet=%d flCleared=%d ctrl1=%d ctrl2=%d ctrl3=%d msgs=%d/%d\n",
+			i, s.Committed, s.Aborted, s.Participated, s.CopiersRequested, s.CopiesServed,
+			s.FailLocksSet, s.FailLocksCleared, s.ControlType1, s.ControlType2, s.ControlType3,
+			s.MsgsIn, s.MsgsOut)
+	}
+}

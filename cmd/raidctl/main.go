@@ -1,0 +1,233 @@
+// Command raidctl is the managing site for a TCP deployment of raidsrv
+// processes: it injects transactions, orders failures and recoveries,
+// queries status, and audits consistency.
+//
+//	raidctl -addrs "0=:7000,1=:7001,m=:7009" status
+//	raidctl -addrs ... txn 0 w3=hello r3
+//	raidctl -addrs ... fail 1
+//	raidctl -addrs ... recover 1
+//	raidctl -addrs ... audit -items 50
+//	raidctl -addrs ... shutdown
+//
+// Transaction IDs are derived from the wall clock so separate raidctl
+// invocations produce monotonically increasing versions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"minraid/internal/cli"
+	"minraid/internal/cluster"
+	"minraid/internal/core"
+	"minraid/internal/msg"
+	"minraid/internal/netcfg"
+	"minraid/internal/transport"
+)
+
+func main() {
+	var (
+		addrs   = flag.String("addrs", "", "address map: 0=host:port,...,m=host:port (m is this process)")
+		items   = flag.Int("items", 50, "database size (needed by audit)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-call timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	addrMap, sites, err := netcfg.ParseAddrs(*addrs)
+	if err != nil {
+		fatal(err)
+	}
+	if _, ok := addrMap[core.ManagingSite]; !ok {
+		fatal(fmt.Errorf("address map needs an m= entry for the managing site"))
+	}
+
+	net, err := transport.NewTCP(transport.TCPConfig{Self: core.ManagingSite, Addrs: addrMap})
+	if err != nil {
+		fatal(err)
+	}
+	defer net.Close()
+	ep, err := net.Endpoint(core.ManagingSite)
+	if err != nil {
+		fatal(err)
+	}
+	ctl := &controller{
+		caller: transport.NewCaller(ep, *timeout),
+		sites:  sites,
+		items:  *items,
+	}
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			ctl.caller.Deliver(env)
+		}
+	}()
+
+	switch args[0] {
+	case "status":
+		ctl.status()
+	case "txn":
+		ctl.txn(args[1:])
+	case "fail":
+		ctl.oneSite(args[1:], ctl.fail)
+	case "recover":
+		ctl.oneSite(args[1:], ctl.recover)
+	case "audit":
+		ctl.audit()
+	case "shutdown":
+		ctl.shutdown()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: raidctl -addrs MAP [flags] {status|txn SITE OPS...|fail SITE|recover SITE|audit|shutdown}")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "raidctl:", err)
+	os.Exit(1)
+}
+
+// controller is the TCP managing site; it implements cluster.Prober so the
+// shared audit runs unchanged over real sockets.
+type controller struct {
+	caller *transport.Caller
+	sites  int
+	items  int
+}
+
+// Sites implements cluster.Prober.
+func (c *controller) Sites() int { return c.sites }
+
+// Items implements cluster.Prober.
+func (c *controller) Items() int { return c.items }
+
+// Replicas implements cluster.Prober; the TCP deployment runs the paper's
+// fully replicated configuration.
+func (c *controller) Replicas() *core.ReplicaMap {
+	return core.FullReplication(c.items, c.sites)
+}
+
+// Status implements cluster.Prober.
+func (c *controller) Status(id core.SiteID, includeFailLocks bool) (*msg.StatusResp, error) {
+	reply, err := c.caller.Call(id, &msg.StatusReq{IncludeFailLocks: includeFailLocks})
+	if err != nil {
+		return nil, fmt.Errorf("status of %s: %w", id, err)
+	}
+	st, ok := reply.Body.(*msg.StatusResp)
+	if !ok {
+		return nil, fmt.Errorf("unexpected reply %s", reply.Body.Kind())
+	}
+	return st, nil
+}
+
+// Dump implements cluster.Prober.
+func (c *controller) Dump(id core.SiteID) ([]core.ItemVersion, error) {
+	reply, err := c.caller.Call(id, &msg.DumpReq{First: 0, Last: core.ItemID(c.items - 1)})
+	if err != nil {
+		return nil, fmt.Errorf("dump of %s: %w", id, err)
+	}
+	resp, ok := reply.Body.(*msg.DumpResp)
+	if !ok {
+		return nil, fmt.Errorf("unexpected reply %s", reply.Body.Kind())
+	}
+	return resp.Items, nil
+}
+
+func (c *controller) status() {
+	for i := 0; i < c.sites; i++ {
+		st, err := c.Status(core.SiteID(i), false)
+		if err != nil {
+			fmt.Printf("site %d: unreachable (%v)\n", i, err)
+			continue
+		}
+		fmt.Printf("site %d: %-11s session %-3d fail-locks %v vector %s\n",
+			i, st.State, st.Session, st.FailLockCounts, cli.FormatVector(st.Vector))
+	}
+}
+
+func (c *controller) txn(args []string) {
+	if len(args) < 2 {
+		fatal(fmt.Errorf("usage: txn SITE OPS... (ops: r3, w5=hello)"))
+	}
+	coord, err := cli.ParseSite(args[0], c.sites)
+	if err != nil {
+		fatal(err)
+	}
+	ops, err := cli.ParseOps(args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	id := core.TxnID(time.Now().UnixNano())
+	reply, err := c.caller.Call(coord, &msg.ClientTxn{Txn: id, Ops: ops})
+	if err != nil {
+		fatal(err)
+	}
+	res := reply.Body.(*msg.TxnResult)
+	fmt.Println(cli.FormatResult(res))
+	if !res.Committed {
+		os.Exit(1)
+	}
+}
+
+func (c *controller) oneSite(args []string, fn func(core.SiteID)) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("expected one site id"))
+	}
+	id, err := cli.ParseSite(args[0], c.sites)
+	if err != nil {
+		fatal(err)
+	}
+	fn(id)
+}
+
+func (c *controller) fail(id core.SiteID) {
+	if _, err := c.caller.Call(id, &msg.FailSim{}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s is down\n", id)
+}
+
+func (c *controller) recover(id core.SiteID) {
+	reply, err := c.caller.Call(id, &msg.RecoverSim{})
+	if err != nil {
+		fatal(err)
+	}
+	st := reply.Body.(*msg.StatusResp)
+	if st.State != core.StatusUp {
+		fatal(fmt.Errorf("recovery blocked: %s is %s", id, st.State))
+	}
+	fmt.Printf("%s is up (session %d)\n", id, st.Session)
+}
+
+func (c *controller) audit() {
+	report, err := cluster.Audit(c)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report)
+	if !report.OK() {
+		os.Exit(1)
+	}
+}
+
+func (c *controller) shutdown() {
+	for i := 0; i < c.sites; i++ {
+		if _, err := c.caller.Call(core.SiteID(i), &msg.Shutdown{}); err != nil {
+			fmt.Printf("site %d: %v\n", i, err)
+			continue
+		}
+		fmt.Printf("site %d: shutting down\n", i)
+	}
+}

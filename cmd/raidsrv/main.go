@@ -1,0 +1,102 @@
+// Command raidsrv runs one mini-RAID database site as its own OS process,
+// talking real TCP to its peers — the deployment shape of the original
+// RAID prototype before it was stripped down to one process per site on a
+// single machine.
+//
+//	raidsrv -id 0 -addrs "0=:7000,1=:7001,m=:7009" -items 50
+//	raidsrv -id 1 -addrs "0=:7000,1=:7001,m=:7009" -items 50
+//
+// Every process must receive the same -addrs map (numeric keys are site
+// IDs, "m" is the managing site, which cmd/raidctl binds). The process
+// exits when the managing site sends a Shutdown, or on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"minraid/internal/core"
+	"minraid/internal/netcfg"
+	"minraid/internal/policy"
+	"minraid/internal/site"
+	"minraid/internal/storage"
+	"minraid/internal/transport"
+)
+
+func main() {
+	var (
+		id         = flag.Int("id", 0, "this site's id")
+		addrs      = flag.String("addrs", "", "address map: 0=host:port,1=host:port,...,m=host:port")
+		items      = flag.Int("items", 50, "database size in data items")
+		pol        = flag.String("policy", "rowaa", "replication policy: rowaa, rowa, quorum")
+		walDir     = flag.String("wal", "", "directory for a durable WAL store (empty: in-memory)")
+		concurrent = flag.Int("concurrent", 0, "max interleaved txns per site (0/1 = serial, as the paper)")
+	)
+	flag.Parse()
+
+	addrMap, sites, err := netcfg.ParseAddrs(*addrs)
+	if err != nil {
+		fatal(err)
+	}
+	if *id < 0 || *id >= sites {
+		fatal(fmt.Errorf("site id %d out of range 0..%d", *id, sites-1))
+	}
+	p, ok := policy.ByName(*pol)
+	if !ok {
+		fatal(fmt.Errorf("unknown policy %q", *pol))
+	}
+
+	self := core.SiteID(*id)
+	net, err := transport.NewTCP(transport.TCPConfig{Self: self, Addrs: addrMap})
+	if err != nil {
+		fatal(err)
+	}
+	defer net.Close()
+
+	var store storage.Store
+	if *walDir != "" {
+		store, err = storage.OpenWAL(storage.WALOptions{Dir: *walDir, Items: *items})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+
+	s, err := site.New(site.Config{
+		ID:             self,
+		Sites:          sites,
+		Items:          *items,
+		Policy:         p,
+		Store:          store,
+		ConcurrentTxns: *concurrent,
+	}, net)
+	if err != nil {
+		fatal(err)
+	}
+	s.Start()
+	fmt.Printf("raidsrv: %s listening on %s (%d sites, %d items, policy %s)\n",
+		self, net.Addr(), sites, *items, p.Name())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		s.Wait() // returns after a Shutdown message stops the site
+		close(done)
+	}()
+	select {
+	case <-sig:
+		fmt.Println("raidsrv: signal received, stopping")
+		s.Stop()
+	case <-done:
+		fmt.Println("raidsrv: shutdown ordered by managing site")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "raidsrv:", err)
+	os.Exit(1)
+}

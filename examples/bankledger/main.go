@@ -1,0 +1,166 @@
+// Bankledger: an ET1/DebitCredit-style bank running on the replicated
+// store — the benchmark the paper planned to adopt ("the well-known
+// benchmarks ET1 from Tandem Corporation", §1.2) — with a mid-run site
+// failure and recovery.
+//
+// Each transaction moves a random amount through one account, one teller
+// and one branch (read-modify-write of three items). The example checks
+// the bank's books at the end: on every site, the sum of branch balances
+// must equal the sum of teller balances and the sum of account balances,
+// and all sites must agree — even though one site missed a third of the
+// run and was repaired by fail-locks and copier transactions.
+//
+//	go run ./examples/bankledger
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minraid"
+)
+
+const (
+	sites = 3
+	items = 200 // 2 branches, 20 tellers, 178 accounts
+	txns  = 300
+)
+
+func main() {
+	c, err := minraid.NewCluster(minraid.ClusterConfig{Sites: sites, Items: items})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	et1 := minraid.NewET1Workload(items, 42)
+	fmt.Printf("bankledger: %s on %d sites\n", et1.Name(), sites)
+
+	run := func(from, to int, coords []minraid.SiteID, allowAbort bool) {
+		for i := from; i < to; i++ {
+			id := c.NextTxnID()
+			ops := buildTransfer(c, et1, id)
+			res, err := c.ExecTxn(coords[i%len(coords)], id, ops)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Committed && !allowAbort {
+				log.Fatalf("txn %d aborted: %s", id, res.AbortReason)
+			}
+		}
+	}
+	all := []minraid.SiteID{0, 1, 2}
+
+	// First third: healthy.
+	run(0, txns/3, all, false)
+
+	// Second third: site 2 is down. The first transaction that touches
+	// it aborts (failure detection); everything after commits on the
+	// surviving majority of copies.
+	must(c.Fail(2))
+	run(txns/3, 2*txns/3, []minraid.SiteID{0, 1}, true)
+	n, _ := c.FailLockCount(0, 2)
+	fmt.Printf("site 2 failed mid-run: %d items fail-locked for it\n", n)
+
+	// Final third: site 2 recovers and serves transactions immediately;
+	// stale balances it coordinates reads for are refreshed by copier
+	// transactions.
+	if _, err := c.Recover(2); err != nil {
+		log.Fatal(err)
+	}
+	run(2*txns/3, txns, all, false)
+
+	// Close the books: drain remaining fail-locks by reading every item
+	// through the recovered site (each read of a stale copy triggers a
+	// copier transaction).
+	for i := 0; i < items; i++ {
+		if _, err := c.Exec(2, []minraid.Op{minraid.Read(minraid.ItemID(i))}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	report, err := c.Audit()
+	must(err)
+	fmt.Println(report)
+	if !report.OK() {
+		log.Fatal("books diverged")
+	}
+
+	checkBooks(c)
+}
+
+// buildTransfer turns the generator's read-modify-write skeleton into an
+// actual transfer: read the three balances, write them back with the same
+// delta applied. Reads observe pre-transaction state, so the new balance
+// is computed from a fresh read transaction first.
+func buildTransfer(c *minraid.Cluster, et1 interface {
+	Next(minraid.TxnID) []minraid.Op
+}, id minraid.TxnID) []minraid.Op {
+	skeleton := et1.Next(id)
+	ops := make([]minraid.Op, 0, len(skeleton))
+	for i := 0; i < len(skeleton); i += 2 {
+		item := skeleton[i].Item
+		delta := decode(skeleton[i+1].Value)
+		// Read the current balance through any up site.
+		res, err := c.Exec(0, []minraid.Op{minraid.Read(item)})
+		if err != nil || !res.Committed {
+			log.Fatalf("balance read failed: %v %v", res, err)
+		}
+		bal := decode(res.Reads[0].Value)
+		ops = append(ops, minraid.Write(item, encode(bal+delta)))
+	}
+	return ops
+}
+
+// checkBooks verifies the accounting identity on every site's own copy.
+func checkBooks(c *minraid.Cluster) {
+	const branches, tellers = 2, 20
+	for s := 0; s < sites; s++ {
+		dump, err := c.Dump(minraid.SiteID(s))
+		must(err)
+		var branchSum, tellerSum, accountSum int64
+		for i, iv := range dump {
+			v := decode(iv.Value)
+			switch {
+			case i < branches:
+				branchSum += v
+			case i < branches+tellers:
+				tellerSum += v
+			default:
+				accountSum += v
+			}
+		}
+		fmt.Printf("site %d books: branches=%d tellers=%d accounts=%d\n",
+			s, branchSum, tellerSum, accountSum)
+		if branchSum != tellerSum || tellerSum != accountSum {
+			log.Fatalf("site %d books do not balance", s)
+		}
+	}
+	fmt.Println("books balance on every site")
+}
+
+func decode(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	var v int64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | int64(b[i])
+	}
+	return v
+}
+
+func encode(v int64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

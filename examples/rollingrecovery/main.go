@@ -1,0 +1,105 @@
+// Rollingrecovery: a scenario-2-style rolling maintenance window — four
+// sites taken down one at a time, as an operator would drain machines for
+// upgrades — while transactions keep flowing. With ROWAA plus fail-locks,
+// service never stops and no transaction aborts for lack of data ("an
+// up-to-date copy of a data item was always available on some site", §4.2.2).
+//
+// Two-step recovery (the paper's §3.2 proposal) is enabled, so each
+// returning site batch-refreshes its stale copies instead of waiting for
+// reads to demand them.
+//
+//	go run ./examples/rollingrecovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"minraid"
+)
+
+const (
+	sites       = 4
+	items       = 60
+	txnsPerStep = 40
+)
+
+func main() {
+	c, err := minraid.NewCluster(minraid.ClusterConfig{
+		Sites: sites, Items: items,
+		// Step two of recovery kicks in as soon as the stale fraction
+		// drops to 80% — effectively immediately, draining fail-locks
+		// in batch.
+		BatchCopierThreshold: 0.8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	gen := minraid.NewUniformWorkload(items, 6, 7)
+
+	fmt.Printf("rolling maintenance over %d sites, %d txns per window\n", sites, txnsPerStep)
+	dataAborts, detectionAborts := 0, 0
+
+	for victim := 0; victim < sites; victim++ {
+		must(c.Fail(minraid.SiteID(victim)))
+		fmt.Printf("\n-- maintenance window: site %d down --\n", victim)
+
+		for i := 0; i < txnsPerStep; i++ {
+			coord := minraid.SiteID((victim + 1 + i%(sites-1)) % sites)
+			id := c.NextTxnID()
+			res, err := c.ExecTxn(coord, id, gen.Next(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Committed {
+				if res.AbortReason == "participating site failed" {
+					detectionAborts++ // expected once per window
+				} else {
+					dataAborts++
+				}
+			}
+		}
+		locked, _ := c.FailLockCount(minraid.SiteID((victim+1)%sites), minraid.SiteID(victim))
+		fmt.Printf("site %d missed updates on %d items\n", victim, locked)
+
+		st, err := c.Recover(minraid.SiteID(victim))
+		must(err)
+		fmt.Printf("site %d back up in session %d; batch refresh draining fail-locks...\n",
+			victim, st.Session)
+		waitClean(c, minraid.SiteID(victim))
+	}
+
+	fmt.Printf("\nrolling maintenance done: %d detection aborts (1 per window is expected), %d data aborts\n",
+		detectionAborts, dataAborts)
+	if dataAborts != 0 {
+		log.Fatal("data became unavailable during rolling maintenance")
+	}
+	report, err := c.Audit()
+	must(err)
+	fmt.Println(report)
+}
+
+// waitClean polls until no fail-locks remain for the given site (the batch
+// refresh runs asynchronously).
+func waitClean(c *minraid.Cluster, id minraid.SiteID) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n, err := c.FailLockCount(id, id)
+		must(err)
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("site %d still has %d fail-locks", id, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module minraid
+
+go 1.22

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+)
+
+func TestParseOpReads(t *testing.T) {
+	op, err := ParseOp("r12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind != core.OpRead || op.Item != 12 || op.Value != nil {
+		t.Errorf("op = %+v", op)
+	}
+}
+
+func TestParseOpWrites(t *testing.T) {
+	op, err := ParseOp("w5=hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind != core.OpWrite || op.Item != 5 || string(op.Value) != "hello world" {
+		t.Errorf("op = %+v", op)
+	}
+	// Empty value is legal.
+	op, err = ParseOp("w5=")
+	if err != nil || len(op.Value) != 0 {
+		t.Errorf("empty write: %+v %v", op, err)
+	}
+	// '=' in the value survives.
+	op, _ = ParseOp("w1=a=b")
+	if string(op.Value) != "a=b" {
+		t.Errorf("value = %q", op.Value)
+	}
+}
+
+func TestParseOpErrors(t *testing.T) {
+	for _, tok := range []string{"", "r", "x3", "rx", "w3", "w=v", "wx=v", "r-1", "w-1=v"} {
+		if _, err := ParseOp(tok); err == nil {
+			t.Errorf("token %q accepted", tok)
+		}
+	}
+}
+
+func TestParseOps(t *testing.T) {
+	ops, err := ParseOps([]string{"r1", "w2=x"})
+	if err != nil || len(ops) != 2 {
+		t.Fatalf("ops=%v err=%v", ops, err)
+	}
+	if _, err := ParseOps([]string{"r1", "bogus"}); err == nil {
+		t.Error("bad token in sequence accepted")
+	}
+}
+
+func TestParseSite(t *testing.T) {
+	id, err := ParseSite("2", 4)
+	if err != nil || id != 2 {
+		t.Errorf("id=%v err=%v", id, err)
+	}
+	for _, arg := range []string{"-1", "4", "x"} {
+		if _, err := ParseSite(arg, 4); err == nil {
+			t.Errorf("site %q accepted", arg)
+		}
+	}
+}
+
+func TestFormatResult(t *testing.T) {
+	committed := &msg.TxnResult{
+		Txn: 7, Committed: true, Copiers: 1, ElapsedNanos: 2_500_000,
+		Reads: []core.ItemVersion{{Item: 3, Version: 5, Value: []byte("v")}},
+	}
+	out := FormatResult(committed)
+	for _, want := range []string{"txn 7 committed", "2.50 ms", "1 copier", `read item 3 = "v" (v5)`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	aborted := &msg.TxnResult{Txn: 8, AbortReason: "participating site failed"}
+	out = FormatResult(aborted)
+	if !strings.Contains(out, "ABORTED") || !strings.Contains(out, "participating site failed") {
+		t.Errorf("abort format: %q", out)
+	}
+}
+
+func TestFormatVector(t *testing.T) {
+	v := core.NewSessionVector(2)
+	v.MarkDown(1)
+	if got := FormatVector(v.Records()); got != "[0:up/1 1:down/1]" {
+		t.Errorf("FormatVector = %q", got)
+	}
+}

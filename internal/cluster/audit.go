@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+)
+
+// AuditReport is the result of a cross-site consistency audit.
+type AuditReport struct {
+	// ItemsChecked is the number of items compared.
+	ItemsChecked int
+	// CopiesCompared is the total number of (item, site) copies examined.
+	CopiesCompared int
+	// StaleCopies counts copies that are behind but properly fail-locked
+	// — expected inconsistency, correctly tracked.
+	StaleCopies int
+	// UnavailableItems counts items with no up-to-date copy on any
+	// operational site — possible under partial replication when every
+	// hosting site is down or stale, and not a violation (the protocol
+	// aborts transactions touching them).
+	UnavailableItems int
+	// Violations lists real consistency violations: copies that differ
+	// without a fail-lock recording the fact, or fail-locked copies that
+	// are somehow ahead of the fresh version.
+	Violations []string
+}
+
+// OK reports whether the audit found no violations.
+func (r AuditReport) OK() bool { return len(r.Violations) == 0 }
+
+// String implements fmt.Stringer.
+func (r AuditReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("audit OK: %d items, %d copies, %d properly fail-locked stale copies",
+			r.ItemsChecked, r.CopiesCompared, r.StaleCopies)
+	}
+	return fmt.Sprintf("audit FAILED: %d violations (first: %s)", len(r.Violations), r.Violations[0])
+}
+
+// Prober is the managing-side view the audit needs: dimensions, the
+// replica placement, status (with fail-lock snapshots) and database dumps.
+// Both the in-process Cluster and the TCP controller implement it.
+type Prober interface {
+	Sites() int
+	Items() int
+	Replicas() *core.ReplicaMap
+	Status(id core.SiteID, includeFailLocks bool) (*msg.StatusResp, error)
+	Dump(id core.SiteID) ([]core.ItemVersion, error)
+}
+
+// Replicas implements Prober.
+func (c *Cluster) Replicas() *core.ReplicaMap {
+	if c.cfg.Replicas != nil {
+		return c.cfg.Replicas
+	}
+	return core.FullReplication(c.cfg.Items, c.cfg.Sites)
+}
+
+// Audit verifies the system's core invariant: every pair of copies of an
+// item on operational sites is identical unless a fail-lock records that
+// one of them missed updates — "fail-locks can properly track the location
+// of the correct values for data items even when these values are spread
+// out over multiple sites" (§5).
+//
+// The audit is driven from the managing site using dumps and status
+// probes. It should be run while no transactions are in flight.
+func (c *Cluster) Audit() (AuditReport, error) { return Audit(c) }
+
+// Audit runs the consistency audit through any Prober.
+func Audit(p Prober) (AuditReport, error) {
+	var report AuditReport
+	sites, items := p.Sites(), p.Items()
+
+	// Find the operational sites and a reference fail-lock table. Tables
+	// at operational sites are compared too: they must agree.
+	type siteView struct {
+		id    core.SiteID
+		dump  []core.ItemVersion
+		locks []uint64
+	}
+	var views []siteView
+	for i := 0; i < sites; i++ {
+		id := core.SiteID(i)
+		st, err := p.Status(id, true)
+		if err != nil {
+			return report, err
+		}
+		if st.State != core.StatusUp {
+			continue
+		}
+		dump, err := p.Dump(id)
+		if err != nil {
+			return report, err
+		}
+		if len(dump) != items || len(st.FailLocks) != items {
+			return report, fmt.Errorf("cluster: %s returned %d copies and %d lock words for %d items", id, len(dump), len(st.FailLocks), items)
+		}
+		views = append(views, siteView{id: id, dump: dump, locks: st.FailLocks})
+	}
+	if len(views) == 0 {
+		return report, fmt.Errorf("cluster: no operational site to audit")
+	}
+
+	// Fail-lock tables of operational sites must agree.
+	ref := views[0]
+	for _, v := range views[1:] {
+		for item := 0; item < items; item++ {
+			if ref.locks[item] != v.locks[item] {
+				report.Violations = append(report.Violations, fmt.Sprintf(
+					"fail-lock tables diverge on item %d: %s=%#x %s=%#x",
+					item, ref.id, ref.locks[item], v.id, v.locks[item]))
+			}
+		}
+	}
+
+	replicas := p.Replicas()
+	for item := 0; item < items; item++ {
+		report.ItemsChecked++
+		hostMask := replicas.HostMask(core.ItemID(item))
+		if stray := ref.locks[item] &^ hostMask; stray != 0 {
+			report.Violations = append(report.Violations, fmt.Sprintf(
+				"item %d: fail-locks %#x set for non-hosting sites", item, stray))
+		}
+		// The fresh version is the max across up-to-date operational
+		// hosting copies; non-hosting sites hold no copy to compare.
+		var fresh core.ItemVersion
+		haveFresh := false
+		hostingUp := 0
+		for _, v := range views {
+			if hostMask&(1<<v.id) == 0 {
+				continue
+			}
+			hostingUp++
+			report.CopiesCompared++
+			if ref.locks[item]&(1<<v.id) != 0 {
+				continue // this copy is fail-locked: stale by design
+			}
+			iv := v.dump[item]
+			if !haveFresh || iv.Version > fresh.Version {
+				fresh = iv
+				haveFresh = true
+			}
+		}
+		if !haveFresh {
+			if hostingUp == 0 || !replicas.IsFull() {
+				// All hosts down (or all their copies stale): data
+				// unavailable, which the protocol handles by aborting.
+				report.UnavailableItems++
+				continue
+			}
+			report.Violations = append(report.Violations, fmt.Sprintf(
+				"item %d: every operational copy is fail-locked", item))
+			continue
+		}
+		for _, v := range views {
+			if hostMask&(1<<v.id) == 0 {
+				continue
+			}
+			iv := v.dump[item]
+			locked := ref.locks[item]&(1<<v.id) != 0
+			switch {
+			case locked:
+				report.StaleCopies++
+				if iv.Version > fresh.Version {
+					report.Violations = append(report.Violations, fmt.Sprintf(
+						"item %d: fail-locked copy on %s has version %d ahead of fresh %d",
+						item, v.id, iv.Version, fresh.Version))
+				}
+			case iv.Version != fresh.Version || !bytes.Equal(iv.Value, fresh.Value):
+				report.Violations = append(report.Violations, fmt.Sprintf(
+					"item %d: unlocked copy on %s (v%d) differs from fresh (v%d)",
+					item, v.id, iv.Version, fresh.Version))
+			}
+		}
+	}
+	return report, nil
+}

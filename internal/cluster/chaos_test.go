@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/txn"
+	"minraid/internal/workload"
+)
+
+// TestChaosRandomFailRecover is a model-checking-lite property test: under
+// arbitrary interleavings of transactions, site failures and recoveries —
+// constrained only so that at least one site stays up — the system must
+// never violate its core invariant (every divergent copy is fail-locked),
+// and transactions must only ever abort for the reasons the protocol
+// defines.
+func TestChaosRandomFailRecover(t *testing.T) {
+	const (
+		sites = 4
+		items = 30
+		steps = 150
+	)
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c := newTestCluster(t, Config{Sites: sites, Items: items, AckTimeout: 40 * time.Millisecond})
+			gen := workload.NewUniform(items, 5, seed)
+
+			up := make([]bool, sites)
+			for i := range up {
+				up[i] = true
+			}
+			upSites := func() []core.SiteID {
+				var out []core.SiteID
+				for i, u := range up {
+					if u {
+						out = append(out, core.SiteID(i))
+					}
+				}
+				return out
+			}
+			countUp := func() int { return len(upSites()) }
+
+			validAborts := map[string]bool{
+				txn.AbortNoDonor:         true,
+				txn.AbortDonorDown:       true,
+				txn.AbortParticipantDown: true,
+				txn.AbortStaleSession:    true,
+			}
+
+			for step := 0; step < steps; step++ {
+				switch r := rng.Float64(); {
+				case r < 0.12 && countUp() > 1:
+					// Fail a random up site (never the last one).
+					ups := upSites()
+					victim := ups[rng.Intn(len(ups))]
+					if err := c.Fail(victim); err != nil {
+						t.Fatalf("step %d: fail %s: %v", step, victim, err)
+					}
+					up[victim] = false
+				case r < 0.30 && countUp() < sites:
+					// Recover a random down site; with >=1 up site a
+					// donor exists, so recovery must succeed.
+					var downs []core.SiteID
+					for i, u := range up {
+						if !u {
+							downs = append(downs, core.SiteID(i))
+						}
+					}
+					target := downs[rng.Intn(len(downs))]
+					if _, err := c.Recover(target); err != nil {
+						t.Fatalf("step %d: recover %s: %v", step, target, err)
+					}
+					up[target] = true
+				default:
+					ups := upSites()
+					coord := ups[rng.Intn(len(ups))]
+					id := c.NextTxnID()
+					res, err := c.ExecTxn(coord, id, gen.Next(id))
+					if err != nil {
+						t.Fatalf("step %d: txn %d on %s: %v", step, id, coord, err)
+					}
+					if !res.Committed && !validAborts[res.AbortReason] {
+						t.Fatalf("step %d: unexplained abort: %q", step, res.AbortReason)
+					}
+				}
+			}
+
+			// Quiesce: bring everyone back and audit.
+			for i, u := range up {
+				if !u {
+					if _, err := c.Recover(core.SiteID(i)); err != nil {
+						t.Fatalf("final recover %d: %v", i, err)
+					}
+				}
+			}
+			report, err := c.Audit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.OK() {
+				t.Errorf("seed %d: %s", seed, report)
+			}
+
+			// Drain every remaining fail-lock by writing all items, then
+			// the audit must be perfectly clean (no stale copies at all).
+			for i := 0; i < items; i++ {
+				id := c.NextTxnID()
+				res, err := c.ExecTxn(core.SiteID(i%sites), id,
+					[]core.Op{core.Write(core.ItemID(i), workload.Payload(id, core.ItemID(i)))})
+				if err != nil || !res.Committed {
+					t.Fatalf("drain write %d: %v %v", i, res, err)
+				}
+			}
+			report, err = c.Audit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.OK() || report.StaleCopies != 0 {
+				t.Errorf("seed %d after drain: %s (stale=%d)", seed, report, report.StaleCopies)
+			}
+		})
+	}
+}
+
+// TestAsymmetricLinkLoss: site 1's messages to site 0 are lost while the
+// reverse direction works. Each side eventually declares the other failed
+// and proceeds alone — the same split brain as a symmetric partition, and
+// the audit must flag the divergence once the link heals.
+func TestAsymmetricLinkLoss(t *testing.T) {
+	c := newTestCluster(t, Config{Sites: 2, Items: 4, AckTimeout: 40 * time.Millisecond})
+	c.SetLinkDown(1, 0, true)
+
+	// Coordinator 0: its prepare reaches 1, but the ack is lost -> abort
+	// + type 2 (the announcement to 1 is delivered; 1 ignores news about
+	// itself).
+	res, err := c.Exec(0, []core.Op{core.Write(1, []byte("a"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("commit without receiving the ack")
+	}
+	// Coordinator 1: its prepare never arrives -> abort + type 2.
+	res, err = c.Exec(1, []core.Op{core.Write(1, []byte("b"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("commit without reaching the peer")
+	}
+	// Both now run solo and commit conflicting values.
+	if res, _ := c.Exec(0, []core.Op{core.Write(1, []byte("only-0"))}); !res.Committed {
+		t.Fatalf("site 0 solo write aborted: %s", res.AbortReason)
+	}
+	if res, _ := c.Exec(1, []core.Op{core.Write(1, []byte("only-1"))}); !res.Committed {
+		t.Fatalf("site 1 solo write aborted: %s", res.AbortReason)
+	}
+
+	c.SetLinkDown(1, 0, false)
+	report, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Error("audit missed the asymmetric-partition divergence")
+	}
+}

@@ -1,0 +1,301 @@
+// Package cluster assembles a complete in-process mini-RAID system: N
+// database sites on one memory transport plus the managing site, which
+// "provide[s] interactive control of system actions ... used to cause
+// sites to fail and recover and to initiate a database transaction to a
+// site" (§1.2).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/metrics"
+	"minraid/internal/msg"
+	"minraid/internal/policy"
+	"minraid/internal/site"
+	"minraid/internal/storage"
+	"minraid/internal/transport"
+)
+
+// Config carries the system parameters the paper's managing site defines:
+// database size, number of sites, and the protocol configuration.
+type Config struct {
+	// Sites is "the number of database sites for the transaction
+	// processing (not including the managing site)".
+	Sites int
+	// Items is "the database size in terms of the number of data items".
+	Items int
+	// Policy is the replication protocol (nil: ROWAA).
+	Policy policy.Policy
+	// Delay is the per-hop inter-site communication cost (0 for unit
+	// tests; 9ms reproduces the paper's hardware).
+	Delay time.Duration
+	// AckTimeout is each site's failure-detection timeout.
+	AckTimeout time.Duration
+	// ManagerTimeout bounds managing-site calls (transactions, recovery
+	// waits). Default 30s.
+	ManagerTimeout time.Duration
+	// DisableFailLockMaintenance removes fail-lock code on every site
+	// (experiment 1 ablation).
+	DisableFailLockMaintenance bool
+	// BatchCopierThreshold enables two-step recovery on every site.
+	BatchCopierThreshold float64
+	// EnableType3 enables type-3 control transactions on every site.
+	EnableType3 bool
+	// StoreFactory supplies per-site stores (nil: in-memory, as in the
+	// paper).
+	StoreFactory func(id core.SiteID) (storage.Store, error)
+	// Replicas assigns items to hosting sites (nil: full replication,
+	// the paper's assumption 4). Partial replication requires ROWAA.
+	Replicas *core.ReplicaMap
+	// ConcurrentTxns enables interleaved transaction execution under
+	// distributed strict 2PL on every site (the paper's deferred
+	// concurrency-control future work); 0 or 1 keeps serial processing.
+	ConcurrentTxns int
+}
+
+// Cluster is a running mini-RAID system.
+type Cluster struct {
+	cfg    Config
+	net    *transport.Memory
+	sites  []*site.Site
+	mgr    transport.Endpoint
+	caller *transport.Caller
+
+	nextTxn atomic.Uint64
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Sites <= 0 || cfg.Sites > core.MaxSites {
+		return nil, fmt.Errorf("cluster: %d sites out of range", cfg.Sites)
+	}
+	if cfg.Items <= 0 {
+		return nil, fmt.Errorf("cluster: %d items out of range", cfg.Items)
+	}
+	if cfg.ManagerTimeout <= 0 {
+		cfg.ManagerTimeout = 30 * time.Second
+	}
+	net := transport.NewMemory(transport.MemoryConfig{Sites: cfg.Sites, Delay: cfg.Delay})
+	c := &Cluster{cfg: cfg, net: net}
+
+	for i := 0; i < cfg.Sites; i++ {
+		id := core.SiteID(i)
+		var store storage.Store
+		if cfg.StoreFactory != nil {
+			var err error
+			store, err = cfg.StoreFactory(id)
+			if err != nil {
+				net.Close()
+				return nil, fmt.Errorf("cluster: store for %s: %w", id, err)
+			}
+		}
+		s, err := site.New(site.Config{
+			ID:                         id,
+			Sites:                      cfg.Sites,
+			Items:                      cfg.Items,
+			Policy:                     cfg.Policy,
+			Store:                      store,
+			AckTimeout:                 cfg.AckTimeout,
+			DisableFailLockMaintenance: cfg.DisableFailLockMaintenance,
+			BatchCopierThreshold:       cfg.BatchCopierThreshold,
+			EnableType3:                cfg.EnableType3,
+			Replicas:                   cfg.Replicas,
+			ConcurrentTxns:             cfg.ConcurrentTxns,
+		}, net)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		c.sites = append(c.sites, s)
+	}
+
+	mgr, err := net.Endpoint(core.ManagingSite)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	c.mgr = mgr
+	c.caller = transport.NewCaller(mgr, cfg.ManagerTimeout)
+
+	for _, s := range c.sites {
+		s.Start()
+	}
+	c.wg.Add(1)
+	go c.run()
+	return c, nil
+}
+
+// run is the managing site's receive loop: it only consumes replies.
+func (c *Cluster) run() {
+	defer c.wg.Done()
+	for {
+		env, ok := c.mgr.Recv()
+		if !ok {
+			return
+		}
+		c.caller.Deliver(env)
+	}
+}
+
+// Close stops every site and the network.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		for _, s := range c.sites {
+			s.Stop()
+		}
+		c.caller.CancelAll()
+		c.net.Close()
+		c.wg.Wait()
+	})
+}
+
+// Sites returns the number of database sites.
+func (c *Cluster) Sites() int { return c.cfg.Sites }
+
+// Items returns the database size.
+func (c *Cluster) Items() int { return c.cfg.Items }
+
+// Site returns the site object (for in-process metrics access).
+func (c *Cluster) Site(id core.SiteID) *site.Site { return c.sites[id] }
+
+// Registry returns site id's metrics registry.
+func (c *Cluster) Registry(id core.SiteID) *metrics.Registry { return c.sites[id].Metrics() }
+
+// MessagesSent returns the network-wide message count.
+func (c *Cluster) MessagesSent() uint64 { return c.net.MessagesSent() }
+
+// SetLinkDown makes the directed link from->to silently drop messages, or
+// restores it. Managing-site links are unaffected.
+func (c *Cluster) SetLinkDown(from, to core.SiteID, down bool) {
+	c.net.SetLinkDown(from, to, down)
+}
+
+// SetLinkDropAfter lets the directed link from->to deliver n more messages
+// and then drop the rest (negative n removes the limit) — fault injection
+// for mid-protocol failures.
+func (c *Cluster) SetLinkDropAfter(from, to core.SiteID, n int) {
+	c.net.SetLinkDropAfter(from, to, n)
+}
+
+// Partition cuts (down=true) or heals (down=false) every link between the
+// two site groups, in both directions — a symmetric network partition.
+// The paper's experiments fail whole sites; partitions are the other
+// hazard fail-locks are defined against ("a copy of a data item is being
+// updated while some other copies are unavailable due to site failure or
+// network partitioning", §1.1).
+func (c *Cluster) Partition(groupA, groupB []core.SiteID, down bool) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			c.net.SetLinkDown(a, b, down)
+			c.net.SetLinkDown(b, a, down)
+		}
+	}
+}
+
+// NextTxnID allocates the next transaction identifier. The managing site
+// numbers transactions sequentially from 1, as the paper does.
+func (c *Cluster) NextTxnID() core.TxnID { return core.TxnID(c.nextTxn.Add(1)) }
+
+// Errors returned by the managing-site operations.
+var (
+	// ErrNoResponse means the target site never answered — it is down or
+	// the call outlived ManagerTimeout.
+	ErrNoResponse = errors.New("cluster: site did not respond")
+	// ErrRecoveryBlocked means recovery failed because no operational
+	// site could supply the session vector and fail-locks.
+	ErrRecoveryBlocked = errors.New("cluster: recovery blocked: no operational donor")
+)
+
+// Exec sends one database transaction to the given coordinator and waits
+// for its outcome. The transaction ID is allocated automatically.
+func (c *Cluster) Exec(coordinator core.SiteID, ops []core.Op) (*msg.TxnResult, error) {
+	return c.ExecTxn(coordinator, c.NextTxnID(), ops)
+}
+
+// ExecTxn sends a database transaction with an explicit ID.
+func (c *Cluster) ExecTxn(coordinator core.SiteID, id core.TxnID, ops []core.Op) (*msg.TxnResult, error) {
+	reply, err := c.caller.Call(coordinator, &msg.ClientTxn{Txn: id, Ops: ops})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (txn %d): %v", ErrNoResponse, coordinator, id, err)
+	}
+	res, ok := reply.Body.(*msg.TxnResult)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unexpected reply %s to txn %d", reply.Body.Kind(), id)
+	}
+	return res, nil
+}
+
+// Fail orders a site to simulate failure and waits for the acknowledgement.
+func (c *Cluster) Fail(id core.SiteID) error {
+	if _, err := c.caller.Call(id, &msg.FailSim{}); err != nil {
+		return fmt.Errorf("%w: failing %s: %v", ErrNoResponse, id, err)
+	}
+	return nil
+}
+
+// Recover orders a failed site to recover and waits until recovery
+// completes (the site replies with its status once the type-1 control
+// transaction has finished). ErrRecoveryBlocked is returned when no
+// operational site could act as donor.
+func (c *Cluster) Recover(id core.SiteID) (*msg.StatusResp, error) {
+	reply, err := c.caller.Call(id, &msg.RecoverSim{})
+	if err != nil {
+		return nil, fmt.Errorf("%w: recovering %s: %v", ErrNoResponse, id, err)
+	}
+	st, ok := reply.Body.(*msg.StatusResp)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unexpected reply %s to recover", reply.Body.Kind())
+	}
+	if st.State != core.StatusUp {
+		return st, ErrRecoveryBlocked
+	}
+	return st, nil
+}
+
+// Status queries a site's replicated-copy-control state. Works even on a
+// failed site (out-of-band instrumentation).
+func (c *Cluster) Status(id core.SiteID, includeFailLocks bool) (*msg.StatusResp, error) {
+	reply, err := c.caller.Call(id, &msg.StatusReq{IncludeFailLocks: includeFailLocks})
+	if err != nil {
+		return nil, fmt.Errorf("%w: status of %s: %v", ErrNoResponse, id, err)
+	}
+	st, ok := reply.Body.(*msg.StatusResp)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unexpected reply %s to status", reply.Body.Kind())
+	}
+	return st, nil
+}
+
+// Dump returns a site's full versioned database copy.
+func (c *Cluster) Dump(id core.SiteID) ([]core.ItemVersion, error) {
+	reply, err := c.caller.Call(id, &msg.DumpReq{First: 0, Last: core.ItemID(c.cfg.Items - 1)})
+	if err != nil {
+		return nil, fmt.Errorf("%w: dump of %s: %v", ErrNoResponse, id, err)
+	}
+	resp, ok := reply.Body.(*msg.DumpResp)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unexpected reply %s to dump", reply.Body.Kind())
+	}
+	return resp.Items, nil
+}
+
+// FailLockCount returns, as observed by observer's table, how many items
+// are fail-locked for target — the quantity plotted in the paper's figures.
+func (c *Cluster) FailLockCount(observer, target core.SiteID) (int, error) {
+	st, err := c.Status(observer, false)
+	if err != nil {
+		return 0, err
+	}
+	if int(target) >= len(st.FailLockCounts) {
+		return 0, fmt.Errorf("cluster: target %s out of range", target)
+	}
+	return int(st.FailLockCounts[target]), nil
+}

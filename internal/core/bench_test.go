@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+// The paper chose bitmaps so "the fail-lock operations [could] be
+// performed very quickly" (§1.2); these benches quantify that choice.
+
+func BenchmarkFailLockSetClear(b *testing.B) {
+	fl := NewFailLockTable(1000, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		item := ItemID(i % 1000)
+		fl.Set(item, SiteID(i%8))
+		fl.Clear(item, SiteID(i%8))
+	}
+}
+
+func BenchmarkFailLockMaintain(b *testing.B) {
+	fl := NewFailLockTable(1000, 8)
+	vec := NewSessionVector(8)
+	vec.MarkDown(3)
+	vec.MarkDown(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Maintain(ItemID(i%1000), vec)
+	}
+}
+
+func BenchmarkFailLockCountForSite(b *testing.B) {
+	fl := NewFailLockTable(1000, 8)
+	for i := 0; i < 1000; i += 3 {
+		fl.Set(ItemID(i), 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fl.CountForSite(2) == 0 {
+			b.Fatal("lost locks")
+		}
+	}
+}
+
+func BenchmarkFailLockSnapshot(b *testing.B) {
+	fl := NewFailLockTable(1000, 8)
+	for i := 0; i < 1000; i += 2 {
+		fl.Set(ItemID(i), SiteID(i%8))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fl.Snapshot()
+	}
+}
+
+func BenchmarkSessionVectorOperational(b *testing.B) {
+	vec := NewSessionVector(8)
+	vec.MarkDown(1)
+	vec.MarkDown(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vec.Operational(0)
+	}
+}
+
+func BenchmarkSessionVectorMerge(b *testing.B) {
+	a := NewSessionVector(8)
+	c := NewSessionVector(8)
+	c.MarkUp(3, 9)
+	c.MarkDown(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(c)
+	}
+}

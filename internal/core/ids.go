@@ -1,0 +1,51 @@
+// Package core implements the replicated-copy-control primitives of the
+// mini-RAID system described in Bhargava, Noll and Sabo, "An Experimental
+// Analysis of Replicated Copy Control During Site Failure and Recovery"
+// (Purdue CSD-TR-692, 1987 / ICDE 1988): session numbers, nominal session
+// vectors and fail-locks.
+//
+// The package is a leaf: it depends on nothing but the standard library and
+// carries the identifier types shared by every other package in the module.
+package core
+
+import "fmt"
+
+// SiteID identifies a database site. Sites are numbered densely from 0, as
+// in the paper ("site 0", "site 1", ...). The managing site is not a
+// database site and has the reserved ID ManagingSite.
+type SiteID uint8
+
+// MaxSites is the largest number of database sites supported. Fail-locks
+// are a bitmap with one bit per site (paper §1.2), held here in a uint64.
+const MaxSites = 64
+
+// ManagingSite is the reserved SiteID of the managing site, which provides
+// interactive control of system actions (paper §1.2) but stores no data.
+const ManagingSite SiteID = 0xFF
+
+// String renders a SiteID the way the paper does ("site 3").
+func (s SiteID) String() string {
+	if s == ManagingSite {
+		return "managing site"
+	}
+	return fmt.Sprintf("site %d", uint8(s))
+}
+
+// SessionNum identifies a time period in which a site is up (paper §1.1).
+// A site increments its session number each time it recovers, so two
+// operational periods of the same site are distinguishable.
+type SessionNum uint32
+
+// ItemID identifies a logical data item. The database is fully replicated:
+// every site holds a copy of every item. Items are numbered densely from 0
+// up to the configured database size.
+type ItemID uint32
+
+// TxnID identifies a database, copier, control or special transaction.
+// The managing site assigns TxnIDs from a single monotone counter, so under
+// the paper's serial-processing assumption TxnIDs double as a system-wide
+// commit order and as item version numbers.
+type TxnID uint64
+
+// NoTxn is the zero TxnID; no real transaction ever carries it.
+const NoTxn TxnID = 0

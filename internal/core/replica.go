@@ -1,0 +1,108 @@
+package core
+
+import "fmt"
+
+// ReplicaMap records which sites host a copy of each item. The paper's
+// mini-RAID assumes full replication (§1.2, assumption 4) but motivates
+// the partially replicated case in §3.2 ("assume a back-up site exists or
+// we have a partially replicated database"); this type is the static
+// replica-placement substrate for that mode.
+//
+// A ReplicaMap is immutable after construction; dynamic replica creation
+// (the full type-3 story for partial replication) would need a replicated
+// map with its own consistency protocol and is out of scope, as it is in
+// the paper.
+type ReplicaMap struct {
+	mask  []uint64 // bit k of mask[i] set = site k hosts item i
+	sites int
+	full  bool
+}
+
+// FullReplication returns the paper's configuration: every site hosts
+// every item.
+func FullReplication(items, sites int) *ReplicaMap {
+	if sites <= 0 || sites > MaxSites {
+		panic(fmt.Sprintf("core: site count %d out of range", sites))
+	}
+	if items <= 0 {
+		panic(fmt.Sprintf("core: item count %d out of range", items))
+	}
+	m := &ReplicaMap{mask: make([]uint64, items), sites: sites, full: true}
+	all := allMask(sites)
+	for i := range m.mask {
+		m.mask[i] = all
+	}
+	return m
+}
+
+// RoundRobinReplication hosts item i on the `degree` sites i, i+1, ...
+// (mod sites) — the classic chained-declustering placement, giving every
+// site an equal share of primaries and every item `degree` copies.
+func RoundRobinReplication(items, sites, degree int) *ReplicaMap {
+	if degree <= 0 || degree > sites {
+		panic(fmt.Sprintf("core: replication degree %d out of range 1..%d", degree, sites))
+	}
+	if degree == sites {
+		return FullReplication(items, sites)
+	}
+	if sites <= 0 || sites > MaxSites {
+		panic(fmt.Sprintf("core: site count %d out of range", sites))
+	}
+	if items <= 0 {
+		panic(fmt.Sprintf("core: item count %d out of range", items))
+	}
+	m := &ReplicaMap{mask: make([]uint64, items), sites: sites}
+	for i := range m.mask {
+		var bits uint64
+		for j := 0; j < degree; j++ {
+			bits |= 1 << ((i + j) % sites)
+		}
+		m.mask[i] = bits
+	}
+	return m
+}
+
+// Items returns the number of items mapped.
+func (m *ReplicaMap) Items() int { return len(m.mask) }
+
+// Sites returns the number of sites mapped.
+func (m *ReplicaMap) Sites() int { return m.sites }
+
+// IsFull reports whether the map is full replication (the paper's case).
+func (m *ReplicaMap) IsFull() bool { return m.full }
+
+// IsHost reports whether site hosts a copy of item.
+func (m *ReplicaMap) IsHost(item ItemID, site SiteID) bool {
+	return m.HostMask(item)&(1<<site) != 0
+}
+
+// HostMask returns the bitmap of hosting sites for item.
+func (m *ReplicaMap) HostMask(item ItemID) uint64 {
+	if int(item) >= len(m.mask) {
+		panic(fmt.Sprintf("core: item %d out of range for %d-item map", item, len(m.mask)))
+	}
+	return m.mask[item]
+}
+
+// Hosts returns the hosting sites for item, ascending.
+func (m *ReplicaMap) Hosts(item ItemID) []SiteID {
+	bits := m.HostMask(item)
+	out := make([]SiteID, 0, m.sites)
+	for s := 0; s < m.sites; s++ {
+		if bits&(1<<s) != 0 {
+			out = append(out, SiteID(s))
+		}
+	}
+	return out
+}
+
+// Degree returns the number of copies of item.
+func (m *ReplicaMap) Degree(item ItemID) int { return popcount(m.HostMask(item)) }
+
+// allMask returns a bitmap with the low n bits set.
+func allMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << n) - 1
+}

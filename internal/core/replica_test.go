@@ -1,0 +1,101 @@
+package core
+
+import "testing"
+
+func TestFullReplication(t *testing.T) {
+	m := FullReplication(5, 3)
+	if !m.IsFull() || m.Items() != 5 || m.Sites() != 3 {
+		t.Fatalf("dims/full: %v %d %d", m.IsFull(), m.Items(), m.Sites())
+	}
+	for i := 0; i < 5; i++ {
+		item := ItemID(i)
+		if m.Degree(item) != 3 {
+			t.Errorf("item %d degree = %d", i, m.Degree(item))
+		}
+		for s := 0; s < 3; s++ {
+			if !m.IsHost(item, SiteID(s)) {
+				t.Errorf("site %d not host of %d", s, i)
+			}
+		}
+	}
+}
+
+func TestRoundRobinReplication(t *testing.T) {
+	m := RoundRobinReplication(8, 4, 2)
+	if m.IsFull() {
+		t.Error("degree 2 of 4 reported full")
+	}
+	for i := 0; i < 8; i++ {
+		item := ItemID(i)
+		if m.Degree(item) != 2 {
+			t.Fatalf("item %d degree = %d", i, m.Degree(item))
+		}
+		// item i hosted by i mod 4 and (i+1) mod 4.
+		want1, want2 := SiteID(i%4), SiteID((i+1)%4)
+		if !m.IsHost(item, want1) || !m.IsHost(item, want2) {
+			t.Errorf("item %d hosts = %v, want %v %v", i, m.Hosts(item), want1, want2)
+		}
+	}
+	// Degree == sites collapses to full replication.
+	if !RoundRobinReplication(8, 4, 4).IsFull() {
+		t.Error("degree==sites not full")
+	}
+	// Placement is balanced: each site hosts items*degree/sites items.
+	counts := make([]int, 4)
+	for i := 0; i < 8; i++ {
+		for _, h := range m.Hosts(ItemID(i)) {
+			counts[h]++
+		}
+	}
+	for s, n := range counts {
+		if n != 4 {
+			t.Errorf("site %d hosts %d items, want 4", s, n)
+		}
+	}
+}
+
+func TestReplicaMapBounds(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero degree":    func() { RoundRobinReplication(4, 2, 0) },
+		"degree > sites": func() { RoundRobinReplication(4, 2, 3) },
+		"zero items":     func() { FullReplication(0, 2) },
+		"zero sites":     func() { FullReplication(4, 0) },
+		"item range": func() {
+			m := FullReplication(4, 2)
+			m.HostMask(9)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaintainMasked(t *testing.T) {
+	fl := NewFailLockTable(2, 4)
+	vec := NewSessionVector(4)
+	vec.MarkDown(1)
+	vec.MarkDown(3)
+	// Hosts of item 0 are sites 0 and 1 only.
+	set, cleared := fl.MaintainMasked(0, vec, 0b0011)
+	if set != 1 || cleared != 0 {
+		t.Errorf("set=%d cleared=%d", set, cleared)
+	}
+	if !fl.IsSet(0, 1) {
+		t.Error("down hosting site not locked")
+	}
+	if fl.IsSet(0, 3) {
+		t.Error("down NON-hosting site locked")
+	}
+	// A pre-set stray bit outside the mask is left untouched.
+	fl.Set(1, 3)
+	fl.MaintainMasked(1, vec, 0b0011)
+	if !fl.IsSet(1, 3) {
+		t.Error("mask did not protect out-of-mask bit")
+	}
+}

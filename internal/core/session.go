@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Status is the state a nominal session vector records for a site.
+// The paper (§1.2) lists exactly these four: "site is up, site is down,
+// site is waiting to recover, and site is terminating".
+type Status uint8
+
+const (
+	// StatusDown marks a site that has failed and is no longer processing
+	// transactions.
+	StatusDown Status = iota
+	// StatusUp marks an operational site. Only operational sites
+	// participate in a protocol based on the ROWAA strategy.
+	StatusUp
+	// StatusRecovering marks a site that has announced (control
+	// transaction type 1) that it is preparing to become operational.
+	StatusRecovering
+	// StatusTerminating marks a site that is shutting down for good.
+	StatusTerminating
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusDown:
+		return "down"
+	case StatusUp:
+		return "up"
+	case StatusRecovering:
+		return "recovering"
+	case StatusTerminating:
+		return "terminating"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// SiteInfo is one record of a nominal session vector: the perceived session
+// number of a site and its perceived state (paper §1.2: "The information
+// maintained for a site included its perceived session number and its
+// state").
+type SiteInfo struct {
+	Session SessionNum
+	Status  Status
+}
+
+// SessionVector is a nominal session vector: a site's own session number
+// plus the perceived session numbers and states of every other site in the
+// system (paper §1.1). A site uses its nominal session vector to determine
+// which sites are operational.
+//
+// SessionVector is a value type with copy-on-write-free semantics: Clone
+// before sharing across goroutines. The site event loop owns its vector.
+type SessionVector struct {
+	info []SiteInfo
+}
+
+// NewSessionVector returns a vector for a system of n sites, all initially
+// up in session 1 (the paper's experiments start with "both sites up with
+// consistent and up-to-date copies").
+func NewSessionVector(n int) SessionVector {
+	if n <= 0 || n > MaxSites {
+		panic(fmt.Sprintf("core: site count %d out of range 1..%d", n, MaxSites))
+	}
+	info := make([]SiteInfo, n)
+	for i := range info {
+		info[i] = SiteInfo{Session: 1, Status: StatusUp}
+	}
+	return SessionVector{info: info}
+}
+
+// Len returns the number of sites the vector describes.
+func (v SessionVector) Len() int { return len(v.info) }
+
+// Info returns the perceived record for site id.
+func (v SessionVector) Info(id SiteID) SiteInfo {
+	v.check(id)
+	return v.info[id]
+}
+
+// Session returns the perceived session number of site id.
+func (v SessionVector) Session(id SiteID) SessionNum { return v.Info(id).Session }
+
+// Status returns the perceived state of site id.
+func (v SessionVector) Status(id SiteID) Status { return v.Info(id).Status }
+
+// IsUp reports whether site id is perceived operational.
+func (v SessionVector) IsUp(id SiteID) bool { return v.Status(id) == StatusUp }
+
+// MarkUp records that site id has entered session s and is operational.
+// It is applied when a control transaction of type 1 announces recovery.
+func (v *SessionVector) MarkUp(id SiteID, s SessionNum) {
+	v.check(id)
+	v.info[id] = SiteInfo{Session: s, Status: StatusUp}
+}
+
+// MarkDown records that site id has failed. It is applied when a control
+// transaction of type 2 announces the failure of one or more sites.
+func (v *SessionVector) MarkDown(id SiteID) {
+	v.check(id)
+	v.info[id].Status = StatusDown
+}
+
+// MarkRecovering records that site id announced recovery with session s but
+// is not yet processing transactions.
+func (v *SessionVector) MarkRecovering(id SiteID, s SessionNum) {
+	v.check(id)
+	v.info[id] = SiteInfo{Session: s, Status: StatusRecovering}
+}
+
+// Set installs an explicit record for site id.
+func (v *SessionVector) Set(id SiteID, rec SiteInfo) {
+	v.check(id)
+	v.info[id] = rec
+}
+
+// Operational returns the IDs of all sites perceived up, excluding the
+// sites listed in except. Only operational sites can participate in a
+// protocol based on the ROWAA strategy (paper §1.1).
+func (v SessionVector) Operational(except ...SiteID) []SiteID {
+	out := make([]SiteID, 0, len(v.info))
+	for i, rec := range v.info {
+		if rec.Status != StatusUp {
+			continue
+		}
+		id := SiteID(i)
+		skip := false
+		for _, e := range except {
+			if e == id {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CountUp returns the number of sites perceived operational.
+func (v SessionVector) CountUp() int {
+	n := 0
+	for _, rec := range v.info {
+		if rec.Status == StatusUp {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy of the vector.
+func (v SessionVector) Clone() SessionVector {
+	info := make([]SiteInfo, len(v.info))
+	copy(info, v.info)
+	return SessionVector{info: info}
+}
+
+// Merge folds another vector into this one, keeping for every site the
+// record with the larger session number; on equal sessions, a Down report
+// wins over Up (a failure within the same session is newer information,
+// while a recovery always opens a new session). Merge is how a recovering
+// site installs the vector shipped to it by an operational site without
+// losing anything it already learned.
+func (v *SessionVector) Merge(other SessionVector) {
+	if len(other.info) != len(v.info) {
+		panic("core: merging session vectors of different lengths")
+	}
+	for i, rec := range other.info {
+		cur := v.info[i]
+		switch {
+		case rec.Session > cur.Session:
+			v.info[i] = rec
+		case rec.Session == cur.Session && rec.Status == StatusDown && cur.Status == StatusUp:
+			v.info[i].Status = StatusDown
+		}
+	}
+}
+
+// Records returns a copy of the underlying records, for encoding.
+func (v SessionVector) Records() []SiteInfo {
+	out := make([]SiteInfo, len(v.info))
+	copy(out, v.info)
+	return out
+}
+
+// VectorFromRecords rebuilds a vector from encoded records.
+func VectorFromRecords(recs []SiteInfo) SessionVector {
+	info := make([]SiteInfo, len(recs))
+	copy(info, recs)
+	return SessionVector{info: info}
+}
+
+// String renders the vector compactly, e.g. "[0:up/2 1:down/1]".
+func (v SessionVector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, rec := range v.info {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%s/%d", i, rec.Status, rec.Session)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func (v SessionVector) check(id SiteID) {
+	if int(id) >= len(v.info) {
+		panic(fmt.Sprintf("core: site %d out of range for %d-site vector", id, len(v.info)))
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSiteIDString(t *testing.T) {
+	if got := SiteID(3).String(); got != "site 3" {
+		t.Errorf("SiteID(3).String() = %q, want %q", got, "site 3")
+	}
+	if got := ManagingSite.String(); got != "managing site" {
+		t.Errorf("ManagingSite.String() = %q, want %q", got, "managing site")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusDown:        "down",
+		StatusUp:          "up",
+		StatusRecovering:  "recovering",
+		StatusTerminating: "terminating",
+		Status(9):         "Status(9)",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", uint8(st), got, want)
+		}
+	}
+}
+
+func TestNewSessionVectorAllUp(t *testing.T) {
+	v := NewSessionVector(4)
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", v.Len())
+	}
+	for i := 0; i < 4; i++ {
+		id := SiteID(i)
+		if !v.IsUp(id) {
+			t.Errorf("site %d not up in fresh vector", i)
+		}
+		if v.Session(id) != 1 {
+			t.Errorf("site %d session = %d, want 1", i, v.Session(id))
+		}
+	}
+	if got := v.CountUp(); got != 4 {
+		t.Errorf("CountUp = %d, want 4", got)
+	}
+}
+
+func TestNewSessionVectorBounds(t *testing.T) {
+	for _, n := range []int{0, -1, MaxSites + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSessionVector(%d) did not panic", n)
+				}
+			}()
+			NewSessionVector(n)
+		}()
+	}
+	NewSessionVector(MaxSites) // must not panic
+}
+
+func TestMarkDownAndUp(t *testing.T) {
+	v := NewSessionVector(3)
+	v.MarkDown(1)
+	if v.IsUp(1) {
+		t.Fatal("site 1 still up after MarkDown")
+	}
+	if v.Session(1) != 1 {
+		t.Errorf("MarkDown changed session to %d", v.Session(1))
+	}
+	v.MarkUp(1, 2)
+	if !v.IsUp(1) || v.Session(1) != 2 {
+		t.Errorf("after MarkUp: %+v", v.Info(1))
+	}
+	ops := v.Operational()
+	if len(ops) != 3 {
+		t.Errorf("Operational = %v, want all three", ops)
+	}
+}
+
+func TestOperationalExcludes(t *testing.T) {
+	v := NewSessionVector(4)
+	v.MarkDown(2)
+	ops := v.Operational(0)
+	want := []SiteID{1, 3}
+	if len(ops) != len(want) {
+		t.Fatalf("Operational(except 0) = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("Operational(except 0) = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestMarkRecovering(t *testing.T) {
+	v := NewSessionVector(2)
+	v.MarkRecovering(0, 5)
+	if v.Status(0) != StatusRecovering {
+		t.Errorf("status = %v, want recovering", v.Status(0))
+	}
+	if v.IsUp(0) {
+		t.Error("recovering site reported up")
+	}
+	if v.Session(0) != 5 {
+		t.Errorf("session = %d, want 5", v.Session(0))
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	v := NewSessionVector(2)
+	c := v.Clone()
+	c.MarkDown(0)
+	if !v.IsUp(0) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestMergeTakesNewerSessions(t *testing.T) {
+	a := NewSessionVector(3)
+	b := NewSessionVector(3)
+	b.MarkUp(0, 7) // newer session for site 0
+	a.MarkUp(1, 9) // a already has newer info for site 1
+	b.MarkDown(1)  // stale down report for site 1 (session 1 < 9)
+	a.Merge(b)
+	if a.Session(0) != 7 || !a.IsUp(0) {
+		t.Errorf("site 0 after merge: %+v, want up/7", a.Info(0))
+	}
+	if a.Session(1) != 9 || !a.IsUp(1) {
+		t.Errorf("site 1 after merge: %+v, want up/9 (stale down must lose)", a.Info(1))
+	}
+}
+
+func TestMergeSameSessionDownWins(t *testing.T) {
+	a := NewSessionVector(2)
+	b := a.Clone()
+	b.MarkDown(1) // failure within the same session is newer information
+	a.Merge(b)
+	if a.IsUp(1) {
+		t.Error("same-session down report did not win over up")
+	}
+}
+
+func TestMergeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging vectors of different length did not panic")
+		}
+	}()
+	a := NewSessionVector(2)
+	b := NewSessionVector(3)
+	a.Merge(b)
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	v := NewSessionVector(3)
+	v.MarkDown(1)
+	v.MarkUp(2, 4)
+	got := VectorFromRecords(v.Records())
+	for i := 0; i < 3; i++ {
+		if got.Info(SiteID(i)) != v.Info(SiteID(i)) {
+			t.Errorf("site %d: got %+v want %+v", i, got.Info(SiteID(i)), v.Info(SiteID(i)))
+		}
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := NewSessionVector(2)
+	v.MarkDown(1)
+	if got, want := v.String(), "[0:up/1 1:down/1]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := NewSessionVector(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Info on out-of-range site did not panic")
+		}
+	}()
+	v.Info(2)
+}
+
+// Property: merging is idempotent and commutative on the session component
+// (the maximum of two monotone counters).
+func TestMergeProperties(t *testing.T) {
+	mk := func(sess [4]uint8, down [4]bool) SessionVector {
+		v := NewSessionVector(4)
+		for i := range sess {
+			s := SessionNum(sess[i]%8) + 1
+			if down[i] {
+				v.Set(SiteID(i), SiteInfo{Session: s, Status: StatusDown})
+			} else {
+				v.Set(SiteID(i), SiteInfo{Session: s, Status: StatusUp})
+			}
+		}
+		return v
+	}
+	prop := func(s1, s2 [4]uint8, d1, d2 [4]bool) bool {
+		a, b := mk(s1, d1), mk(s2, d2)
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		for i := 0; i < 4; i++ {
+			id := SiteID(i)
+			if ab.Session(id) != ba.Session(id) {
+				return false // sessions must merge commutatively
+			}
+			if ab.Status(id) != ba.Status(id) {
+				return false // same-session down dominance is symmetric
+			}
+		}
+		// Idempotence.
+		again := ab.Clone()
+		again.Merge(b)
+		for i := 0; i < 4; i++ {
+			if again.Info(SiteID(i)) != ab.Info(SiteID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

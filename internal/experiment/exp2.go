@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"minraid/internal/core"
+	"minraid/internal/failure"
+	"minraid/internal/plot"
+)
+
+// Figure1Report reproduces experiment 2 (§3): data availability on a
+// recovering site, the fail-lock count over one failure/recovery cycle.
+type Figure1Report struct {
+	Cfg Config
+	Res *ScheduleResult
+	// DownTxns is the length of the down window (paper: 100).
+	DownTxns int
+	// PeakLocked is the fail-lock count when the site came back up; the
+	// paper observed "over 90% of the copies" locked.
+	PeakLocked int
+	// RecoveryTxns is the number of transactions from the site coming up
+	// to full recovery (paper: 160).
+	RecoveryTxns int
+	// First10Txns and Last10Txns: transactions needed to clear the first
+	// and the last ten fail-locks (paper: 6 and 106) — the convex decay
+	// of §3.1.2.
+	First10Txns int
+	Last10Txns  int
+}
+
+// PeakPct is the peak fraction of the database fail-locked.
+func (r Figure1Report) PeakPct() float64 {
+	return 100 * float64(r.PeakLocked) / float64(r.Cfg.Items)
+}
+
+// String renders Figure 1 and its analysis.
+func (r Figure1Report) String() string {
+	var b strings.Builder
+	b.WriteString(plot.Chart(
+		fmt.Sprintf("Figure 1: data availability during failure and recovery (db=%d, maxops=%d)", r.Cfg.Items, r.Cfg.MaxOps),
+		72, 16,
+		[]plot.Series{{Name: "fail-locks set for site 0", Y: r.Res.FailLocks[0]}},
+	))
+	fmt.Fprintf(&b, "down window: %d txns; peak fail-locked: %d/%d (%.0f%%)\n",
+		r.DownTxns, r.PeakLocked, r.Cfg.Items, r.PeakPct())
+	fmt.Fprintf(&b, "full recovery after %d further txns; copiers requested: %d\n",
+		r.RecoveryTxns, r.Res.Copiers)
+	fmt.Fprintf(&b, "first 10 fail-locks cleared in %d txns; last 10 in %d txns\n",
+		r.First10Txns, r.Last10Txns)
+	fmt.Fprintf(&b, "aborts: %d (data: %d, detection: %d); %s\n",
+		r.Res.Aborted, r.Res.DataAborts, r.Res.DetectionAborts, r.Res.AuditDetail)
+	return b.String()
+}
+
+// RunFigure1 reproduces experiment 2's scenario (§3.1): 50 items, 2 sites,
+// max transaction size 5; site 0 down for transactions 1-100, then
+// recovering until every fail-lock clears (capped at capTxns).
+func RunFigure1(cfg Config, capTxns int) (*Figure1Report, error) {
+	cfg = cfg.withDefaults(2, 50, 5)
+	if capTxns == 0 {
+		capTxns = 2000
+	}
+	const downTxns = 100
+	res, err := RunSchedule(cfg, failure.Figure1(0), capTxns)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Figure1Report{Cfg: cfg, Res: res, DownTxns: downTxns}
+	series := res.FailLocks[core.SiteID(0)]
+	if len(series) >= downTxns {
+		report.PeakLocked = int(series[downTxns-1])
+	}
+	if res.FullyRecoveredAt > downTxns {
+		report.RecoveryTxns = res.FullyRecoveredAt - downTxns
+	}
+	// Decay analysis (§3.1.2): transactions to clear the first and last
+	// ten locks after recovery begins.
+	peak := float64(report.PeakLocked)
+	for i := downTxns; i < len(series); i++ {
+		if series[i] <= peak-10 {
+			report.First10Txns = i + 1 - downTxns
+			break
+		}
+	}
+	for i := downTxns; i < len(series); i++ {
+		if series[i] <= 10 {
+			if res.FullyRecoveredAt > 0 {
+				report.Last10Txns = res.FullyRecoveredAt - (i + 1)
+			}
+			break
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,192 @@
+// Package failure expresses the experiment scripts of the paper as
+// declarative schedules: "Before transaction 1, we caused site 0 to fail.
+// For transactions 1-100 we kept site 0 down and processed transactions on
+// site 1. Before transaction 101, site 0 was brought up..." (§3.1).
+//
+// A Schedule lists fail/recover events keyed to transaction numbers; a
+// Plan replays it to answer, for any transaction number, which sites are
+// up and who should coordinate (round-robin over the up sites, matching
+// the paper's "transactions were processed on both sites").
+package failure
+
+import (
+	"fmt"
+	"sort"
+
+	"minraid/internal/core"
+)
+
+// Action is what happens to a site at an event.
+type Action uint8
+
+const (
+	// Fail takes the site down.
+	Fail Action = iota
+	// Recover brings the site back up.
+	Recover
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	if a == Fail {
+		return "fail"
+	}
+	return "recover"
+}
+
+// Event is one scheduled state change: before transaction BeforeTxn is
+// issued, apply Action to Site. Transaction numbers are 1-based, as in the
+// paper.
+type Event struct {
+	BeforeTxn int
+	Action    Action
+	Site      core.SiteID
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("before txn %d: %s %s", e.BeforeTxn, e.Action, e.Site)
+}
+
+// Schedule is an ordered list of events plus the total transaction count.
+type Schedule struct {
+	// Txns is the number of transactions to run. Zero means "run until
+	// the condition the experiment defines" (e.g. full recovery).
+	Txns   int
+	Events []Event
+}
+
+// Validate checks event ordering and site ranges.
+func (s Schedule) Validate(sites int) error {
+	for i, e := range s.Events {
+		if e.BeforeTxn < 1 {
+			return fmt.Errorf("failure: event %d fires before txn %d (< 1)", i, e.BeforeTxn)
+		}
+		if int(e.Site) >= sites {
+			return fmt.Errorf("failure: event %d targets %s of %d sites", i, e.Site, sites)
+		}
+		if i > 0 && e.BeforeTxn < s.Events[i-1].BeforeTxn {
+			return fmt.Errorf("failure: events out of order at %d", i)
+		}
+	}
+	return nil
+}
+
+// EventsBefore returns the events that fire immediately before
+// transaction txnNum.
+func (s Schedule) EventsBefore(txnNum int) []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.BeforeTxn == txnNum {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Plan replays a schedule to answer up-set and coordinator queries.
+type Plan struct {
+	sched Schedule
+	sites int
+}
+
+// NewPlan builds a plan for a system of sites database sites.
+func NewPlan(sched Schedule, sites int) (*Plan, error) {
+	if err := sched.Validate(sites); err != nil {
+		return nil, err
+	}
+	return &Plan{sched: sched, sites: sites}, nil
+}
+
+// Schedule returns the underlying schedule.
+func (p *Plan) Schedule() Schedule { return p.sched }
+
+// UpSites returns, in ascending order, the sites that are up when
+// transaction txnNum is issued (after all events with BeforeTxn <= txnNum).
+func (p *Plan) UpSites(txnNum int) []core.SiteID {
+	up := make([]bool, p.sites)
+	for i := range up {
+		up[i] = true
+	}
+	for _, e := range p.sched.Events {
+		if e.BeforeTxn > txnNum {
+			break
+		}
+		up[e.Site] = e.Action == Recover
+	}
+	var out []core.SiteID
+	for i, u := range up {
+		if u {
+			out = append(out, core.SiteID(i))
+		}
+	}
+	return out
+}
+
+// Coordinator returns the coordinator for transaction txnNum: round-robin
+// over the sites up at that point ("transactions were processed on both
+// sites", §3.1). It panics if no site is up — a schedule error.
+func (p *Plan) Coordinator(txnNum int) core.SiteID {
+	up := p.UpSites(txnNum)
+	if len(up) == 0 {
+		panic(fmt.Sprintf("failure: no site up at txn %d", txnNum))
+	}
+	return up[(txnNum-1)%len(up)]
+}
+
+// Paper scenario builders. Transaction numbering is 1-based, matching the
+// text exactly.
+
+// Figure1 is experiment 2's schedule (§3.1): 2 sites; site 0 fails before
+// txn 1, recovers before txn 101; transactions continue on both sites
+// until site 0 is fully recovered (open-ended, so Txns is a cap).
+func Figure1(capTxns int) Schedule {
+	return Schedule{
+		Txns: capTxns,
+		Events: []Event{
+			{BeforeTxn: 1, Action: Fail, Site: 0},
+			{BeforeTxn: 101, Action: Recover, Site: 0},
+		},
+	}
+}
+
+// Scenario1 is experiment 3 scenario 1 (§4.2.1): 2 sites, alternating
+// failures, 120 transactions.
+func Scenario1() Schedule {
+	return Schedule{
+		Txns: 120,
+		Events: []Event{
+			{BeforeTxn: 1, Action: Fail, Site: 0},
+			{BeforeTxn: 26, Action: Recover, Site: 0},
+			{BeforeTxn: 26, Action: Fail, Site: 1},
+			{BeforeTxn: 51, Action: Recover, Site: 1},
+		},
+	}
+}
+
+// Scenario2 is experiment 3 scenario 2 (§4.2.2): 4 sites, rolling single
+// failures every 25 transactions, 160 transactions.
+func Scenario2() Schedule {
+	return Schedule{
+		Txns: 160,
+		Events: []Event{
+			{BeforeTxn: 1, Action: Fail, Site: 0},
+			{BeforeTxn: 26, Action: Recover, Site: 0},
+			{BeforeTxn: 26, Action: Fail, Site: 1},
+			{BeforeTxn: 51, Action: Recover, Site: 1},
+			{BeforeTxn: 51, Action: Fail, Site: 2},
+			{BeforeTxn: 76, Action: Recover, Site: 2},
+			{BeforeTxn: 76, Action: Fail, Site: 3},
+			{BeforeTxn: 101, Action: Recover, Site: 3},
+		},
+	}
+}
+
+// Sorted returns a copy of the schedule with events sorted by firing
+// transaction (stable), for builders that assemble events out of order.
+func Sorted(s Schedule) Schedule {
+	events := make([]Event, len(s.Events))
+	copy(events, s.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].BeforeTxn < events[j].BeforeTxn })
+	return Schedule{Txns: s.Txns, Events: events}
+}

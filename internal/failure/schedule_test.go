@@ -1,0 +1,168 @@
+package failure
+
+import (
+	"testing"
+
+	"minraid/internal/core"
+)
+
+func sitesEqual(a []core.SiteID, b ...core.SiteID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestValidate(t *testing.T) {
+	good := Scenario1()
+	if err := good.Validate(2); err != nil {
+		t.Errorf("scenario 1 invalid: %v", err)
+	}
+	bad := Schedule{Events: []Event{{BeforeTxn: 0, Action: Fail, Site: 0}}}
+	if err := bad.Validate(2); err == nil {
+		t.Error("zero txn accepted")
+	}
+	bad = Schedule{Events: []Event{{BeforeTxn: 1, Action: Fail, Site: 9}}}
+	if err := bad.Validate(2); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	bad = Schedule{Events: []Event{
+		{BeforeTxn: 5, Action: Fail, Site: 0},
+		{BeforeTxn: 2, Action: Recover, Site: 0},
+	}}
+	if err := bad.Validate(2); err == nil {
+		t.Error("out-of-order events accepted")
+	}
+}
+
+func TestEventsBefore(t *testing.T) {
+	s := Scenario1()
+	evs := s.EventsBefore(26)
+	if len(evs) != 2 {
+		t.Fatalf("events before 26: %v", evs)
+	}
+	if evs[0].Action != Recover || evs[0].Site != 0 || evs[1].Action != Fail || evs[1].Site != 1 {
+		t.Errorf("events = %v", evs)
+	}
+	if got := s.EventsBefore(27); len(got) != 0 {
+		t.Errorf("unexpected events: %v", got)
+	}
+}
+
+func TestPlanUpSitesScenario1(t *testing.T) {
+	p, err := NewPlan(Scenario1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sitesEqual(p.UpSites(1), 1) {
+		t.Errorf("txn 1 up = %v", p.UpSites(1))
+	}
+	if !sitesEqual(p.UpSites(25), 1) {
+		t.Errorf("txn 25 up = %v", p.UpSites(25))
+	}
+	if !sitesEqual(p.UpSites(26), 0) {
+		t.Errorf("txn 26 up = %v", p.UpSites(26))
+	}
+	if !sitesEqual(p.UpSites(51), 0, 1) {
+		t.Errorf("txn 51 up = %v", p.UpSites(51))
+	}
+}
+
+func TestPlanCoordinatorRoundRobin(t *testing.T) {
+	p, _ := NewPlan(Scenario1(), 2)
+	// Single up site: always that site.
+	for txn := 1; txn <= 25; txn++ {
+		if got := p.Coordinator(txn); got != 1 {
+			t.Fatalf("txn %d coordinator = %v", txn, got)
+		}
+	}
+	// Both up: alternate.
+	c51, c52 := p.Coordinator(51), p.Coordinator(52)
+	if c51 == c52 {
+		t.Errorf("coordinators do not alternate: %v %v", c51, c52)
+	}
+}
+
+func TestPlanPanicsWithNoUpSite(t *testing.T) {
+	s := Schedule{Txns: 5, Events: []Event{
+		{BeforeTxn: 1, Action: Fail, Site: 0},
+		{BeforeTxn: 1, Action: Fail, Site: 1},
+	}}
+	p, _ := NewPlan(s, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic with all sites down")
+		}
+	}()
+	p.Coordinator(1)
+}
+
+func TestScenario2Shape(t *testing.T) {
+	s := Scenario2()
+	if err := s.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPlan(s, 4)
+	// Exactly one site down in each failure window; all up from txn 101.
+	for txn := 1; txn <= 100; txn++ {
+		if got := len(p.UpSites(txn)); got != 3 {
+			t.Fatalf("txn %d has %d up sites", txn, got)
+		}
+	}
+	if got := len(p.UpSites(101)); got != 4 {
+		t.Errorf("txn 101 has %d up sites", got)
+	}
+	downAt := map[int]core.SiteID{1: 0, 26: 1, 51: 2, 76: 3}
+	for txn, want := range downAt {
+		up := p.UpSites(txn)
+		for _, id := range up {
+			if id == want {
+				t.Errorf("txn %d: %s should be down", txn, want)
+			}
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	s := Figure1(400)
+	if s.Txns != 400 {
+		t.Errorf("cap = %d", s.Txns)
+	}
+	p, _ := NewPlan(s, 2)
+	if !sitesEqual(p.UpSites(100), 1) {
+		t.Errorf("txn 100 up = %v", p.UpSites(100))
+	}
+	if !sitesEqual(p.UpSites(101), 0, 1) {
+		t.Errorf("txn 101 up = %v", p.UpSites(101))
+	}
+}
+
+func TestSorted(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{BeforeTxn: 9, Action: Fail, Site: 0},
+		{BeforeTxn: 2, Action: Fail, Site: 1},
+	}}
+	sorted := Sorted(s)
+	if sorted.Events[0].BeforeTxn != 2 || sorted.Events[1].BeforeTxn != 9 {
+		t.Errorf("sorted = %v", sorted.Events)
+	}
+	// Original untouched.
+	if s.Events[0].BeforeTxn != 9 {
+		t.Error("Sorted mutated its input")
+	}
+}
+
+func TestActionEventStrings(t *testing.T) {
+	if Fail.String() != "fail" || Recover.String() != "recover" {
+		t.Error("action strings")
+	}
+	e := Event{BeforeTxn: 3, Action: Fail, Site: 1}
+	if e.String() != "before txn 3: fail site 1" {
+		t.Errorf("event string = %q", e.String())
+	}
+}

@@ -1,0 +1,325 @@
+package lockmgr
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New(time.Second)
+	defer m.Close()
+	if err := m.Acquire(1, 5, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, 5, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if mode, ok := m.Holds(1, 5); !ok || mode != Shared {
+		t.Errorf("txn 1 holds %v %v", mode, ok)
+	}
+	if mode, ok := m.Holds(2, 5); !ok || mode != Shared {
+		t.Errorf("txn 2 holds %v %v", mode, ok)
+	}
+}
+
+func TestExclusiveBlocksOthers(t *testing.T) {
+	m := New(50 * time.Millisecond)
+	defer m.Close()
+	if err := m.Acquire(1, 3, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, 3, Shared); !errors.Is(err, ErrTimeout) {
+		t.Errorf("shared under exclusive: %v", err)
+	}
+	if err := m.Acquire(3, 3, Exclusive); !errors.Is(err, ErrTimeout) {
+		t.Errorf("exclusive under exclusive: %v", err)
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	m := New(5 * time.Second)
+	defer m.Close()
+	m.Acquire(1, 7, Exclusive)
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(2, 7, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Release(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if _, ok := m.Holds(1, 7); ok {
+		t.Error("released lock still held")
+	}
+	if mode, ok := m.Holds(2, 7); !ok || mode != Exclusive {
+		t.Error("waiter did not get the lock")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := New(time.Second)
+	defer m.Close()
+	m.Acquire(1, 1, Exclusive)
+	if err := m.Acquire(1, 1, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, 1, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Still exclusive after the weaker re-acquire.
+	if mode, _ := m.Holds(1, 1); mode != Exclusive {
+		t.Error("downgraded")
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := New(time.Second)
+	defer m.Close()
+	m.Acquire(1, 2, Shared)
+	if err := m.Acquire(1, 2, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := m.Holds(1, 2); mode != Exclusive {
+		t.Error("upgrade did not take")
+	}
+}
+
+func TestUpgradeWaitsForReaders(t *testing.T) {
+	m := New(5 * time.Second)
+	defer m.Close()
+	m.Acquire(1, 2, Shared)
+	m.Acquire(2, 2, Shared)
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(1, 2, Exclusive) }()
+	select {
+	case <-got:
+		t.Fatal("upgrade granted with another reader present")
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.Release(2)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("upgrade never granted")
+	}
+}
+
+func TestFIFOFairnessNoReaderOvertaking(t *testing.T) {
+	m := New(5 * time.Second)
+	defer m.Close()
+	m.Acquire(1, 4, Shared)
+	// Writer queues behind the reader.
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- m.Acquire(2, 4, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	// A new reader must NOT overtake the queued writer.
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- m.Acquire(3, 4, Shared) }()
+	select {
+	case <-readerDone:
+		t.Fatal("late reader overtook queued writer (writer starvation)")
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.Release(1)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	m.Release(2)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New(10 * time.Second)
+	defer m.Close()
+	m.Acquire(1, 10, Exclusive)
+	m.Acquire(2, 20, Exclusive)
+	r1 := make(chan error, 1)
+	go func() { r1 <- m.Acquire(1, 20, Exclusive) }() // 1 waits on 2
+	time.Sleep(20 * time.Millisecond)
+	r2 := make(chan error, 1)
+	go func() { r2 <- m.Acquire(2, 10, Exclusive) }() // 2 waits on 1: cycle
+
+	// The youngest (txn 2) must die; txn 1 proceeds after 2 releases.
+	select {
+	case err := <-r2:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("victim error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadlock not detected")
+	}
+	m.Release(2)
+	select {
+	case err := <-r1:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("survivor never granted")
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	m := New(10 * time.Second)
+	defer m.Close()
+	m.Acquire(1, 1, Exclusive)
+	m.Acquire(2, 2, Exclusive)
+	m.Acquire(3, 3, Exclusive)
+	errs := make(chan error, 3)
+	go func() { errs <- m.Acquire(1, 2, Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	go func() { errs <- m.Acquire(2, 3, Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	go func() { errs <- m.Acquire(3, 1, Exclusive) }()
+
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("first completion = %v, want deadlock victim", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("three-way deadlock not detected")
+	}
+}
+
+func TestAcquireAllOrdersItems(t *testing.T) {
+	m := New(time.Second)
+	defer m.Close()
+	if err := m.AcquireAll(1, []core.ItemID{9, 3}, []core.ItemID{5, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Item 3 appears in both sets: exclusive wins.
+	if mode, _ := m.Holds(1, 3); mode != Exclusive {
+		t.Error("write-set item not exclusive")
+	}
+	if mode, _ := m.Holds(1, 9); mode != Shared {
+		t.Error("read-set item not shared")
+	}
+	if mode, _ := m.Holds(1, 5); mode != Exclusive {
+		t.Error("exclusive item wrong")
+	}
+}
+
+func TestCloseFailsWaiters(t *testing.T) {
+	m := New(10 * time.Second)
+	m.Acquire(1, 1, Exclusive)
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(2, 1, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not wake waiter")
+	}
+	if err := m.Acquire(3, 2, Shared); !errors.Is(err, ErrClosed) {
+		t.Errorf("acquire after close: %v", err)
+	}
+	m.Close() // idempotent
+}
+
+func TestReleaseWithoutLocksIsNoop(t *testing.T) {
+	m := New(time.Second)
+	defer m.Close()
+	m.Release(42)
+	locked, waiters := m.Stats()
+	if locked != 0 || waiters != 0 {
+		t.Errorf("stats = %d %d", locked, waiters)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := New(5 * time.Second)
+	defer m.Close()
+	m.Acquire(1, 1, Exclusive)
+	m.Acquire(1, 2, Shared)
+	go m.Acquire(2, 1, Shared)
+	time.Sleep(20 * time.Millisecond)
+	locked, waiters := m.Stats()
+	if locked != 2 || waiters != 1 {
+		t.Errorf("stats = %d locked, %d waiting", locked, waiters)
+	}
+	m.Release(1)
+	m.Release(2)
+	locked, waiters = m.Stats()
+	if locked != 0 || waiters != 0 {
+		t.Errorf("after release: %d %d (lock table must shrink)", locked, waiters)
+	}
+}
+
+// Stress: random transactions over a small item space with 2PL discipline
+// never corrupt a guarded counter array, and the manager survives
+// deadlock storms.
+func TestStressSerializability(t *testing.T) {
+	const (
+		workers = 8
+		items   = 6
+		rounds  = 150
+	)
+	m := New(2 * time.Second)
+	defer m.Close()
+	var data [items]int64 // guarded by item locks
+	var txnSeq atomic.Uint64
+	var wg sync.WaitGroup
+	var deadlocks atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				txn := core.TxnID(txnSeq.Add(1))
+				a := core.ItemID(rng.Intn(items))
+				b := core.ItemID(rng.Intn(items))
+				if a == b {
+					continue // a self-transfer would double-assign data[a]
+				}
+				err := m.AcquireAll(txn, nil, []core.ItemID{a, b})
+				if err != nil {
+					m.Release(txn)
+					if errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTimeout) {
+						deadlocks.Add(1)
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				// Critical section: transfer between a and b. Any lock
+				// bug shows up as a torn read-modify-write under -race.
+				va, vb := data[a], data[b]
+				data[a], data[b] = va-1, vb+1
+				m.Release(txn)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	var sum int64
+	for _, v := range data {
+		sum += v
+	}
+	if sum != 0 {
+		t.Errorf("conservation violated: sum = %d", sum)
+	}
+	locked, waiters := m.Stats()
+	if locked != 0 || waiters != 0 {
+		t.Errorf("leaked locks: %d items, %d waiters", locked, waiters)
+	}
+}

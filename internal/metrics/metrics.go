@@ -1,0 +1,196 @@
+// Package metrics provides the measurement primitives the experiment
+// harness uses: named duration timers (count/total/min/max) and named
+// counters. The paper recorded "the execution times of processing events
+// ... after a stable state of transaction processing was achieved" and
+// reported averages (§2.1); TimerStat.Mean is that average.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TimerStat is an immutable snapshot of one timer.
+type TimerStat struct {
+	Count uint64
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average observation, or zero if none were recorded.
+func (s TimerStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// String implements fmt.Stringer.
+func (s TimerStat) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", s.Count, s.Mean(), s.Min, s.Max)
+}
+
+// Registry is a set of named timers and counters, safe for concurrent use.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	timers   map[string]*TimerStat
+	counters map[string]uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		timers:   make(map[string]*TimerStat),
+		counters: make(map[string]uint64),
+	}
+}
+
+// Observe records one duration under name.
+func (r *Registry) Observe(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &TimerStat{Min: d, Max: d}
+		r.timers[name] = t
+	}
+	t.Count++
+	t.Total += d
+	if d < t.Min {
+		t.Min = d
+	}
+	if d > t.Max {
+		t.Max = d
+	}
+}
+
+// Time runs fn and records its duration under name.
+func (r *Registry) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	r.Observe(name, time.Since(start))
+}
+
+// Add increments the named counter by n.
+func (r *Registry) Add(name string, n uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += n
+}
+
+// Counter returns the current value of the named counter.
+func (r *Registry) Counter(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Timer returns a snapshot of the named timer; the zero TimerStat if it was
+// never observed.
+func (r *Registry) Timer(name string) TimerStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.timers[name]; ok {
+		return *t
+	}
+	return TimerStat{}
+}
+
+// Timers returns a snapshot of every timer.
+func (r *Registry) Timers() map[string]TimerStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]TimerStat, len(r.timers))
+	for k, v := range r.timers {
+		out[k] = *v
+	}
+	return out
+}
+
+// Counters returns a snapshot of every counter.
+func (r *Registry) Counters() map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset discards all observations, keeping the registry usable. The
+// experiment harness resets after warm-up so reported averages cover only
+// the stable state, as in the paper.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timers = make(map[string]*TimerStat)
+	r.counters = make(map[string]uint64)
+}
+
+// String renders every timer and counter, sorted by name.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.timers)+len(r.counters))
+	for k := range r.timers {
+		names = append(names, "T "+k)
+	}
+	for k := range r.counters {
+		names = append(names, "C "+k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		kind, name := n[:1], n[2:]
+		if kind == "T" {
+			fmt.Fprintf(&b, "timer %-24s %s\n", name, (*r.timers[name]).String())
+		} else {
+			fmt.Fprintf(&b, "count %-24s %d\n", name, r.counters[name])
+		}
+	}
+	return b.String()
+}
+
+// Series records one float64 value per step — the data behind the paper's
+// figures (e.g. "number of fail-locks set" per transaction number). It is
+// append-only and safe for concurrent use.
+type Series struct {
+	mu   sync.Mutex
+	name string
+	vals []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append adds one value.
+func (s *Series) Append(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals = append(s.vals, v)
+}
+
+// Values returns a copy of the recorded values.
+func (s *Series) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+// Len returns the number of recorded values.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}

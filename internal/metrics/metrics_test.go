@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimerBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("txn", 10*time.Millisecond)
+	r.Observe("txn", 20*time.Millisecond)
+	r.Observe("txn", 30*time.Millisecond)
+	st := r.Timer("txn")
+	if st.Count != 3 {
+		t.Errorf("Count = %d", st.Count)
+	}
+	if st.Mean() != 20*time.Millisecond {
+		t.Errorf("Mean = %v", st.Mean())
+	}
+	if st.Min != 10*time.Millisecond || st.Max != 30*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", st.Min, st.Max)
+	}
+}
+
+func TestTimerZero(t *testing.T) {
+	r := NewRegistry()
+	st := r.Timer("never")
+	if st.Count != 0 || st.Mean() != 0 {
+		t.Errorf("zero timer: %+v", st)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Add("aborts", 1)
+	r.Add("aborts", 2)
+	if got := r.Counter("aborts"); got != 3 {
+		t.Errorf("Counter = %d", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d", got)
+	}
+}
+
+func TestTime(t *testing.T) {
+	r := NewRegistry()
+	r.Time("op", func() { time.Sleep(time.Millisecond) })
+	st := r.Timer("op")
+	if st.Count != 1 || st.Total < time.Millisecond {
+		t.Errorf("Time recorded %+v", st)
+	}
+}
+
+func TestSnapshotsAreCopies(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("a", time.Second)
+	r.Add("c", 1)
+	timers := r.Timers()
+	counters := r.Counters()
+	timers["a"] = TimerStat{Count: 99}
+	counters["c"] = 99
+	if r.Timer("a").Count != 1 || r.Counter("c") != 1 {
+		t.Error("snapshot mutation leaked into registry")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("a", time.Second)
+	r.Add("c", 5)
+	r.Reset()
+	if r.Timer("a").Count != 0 || r.Counter("c") != 0 {
+		t.Error("reset did not clear")
+	}
+	r.Observe("a", time.Millisecond)
+	if r.Timer("a").Count != 1 {
+		t.Error("registry unusable after reset")
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("zz", time.Millisecond)
+	r.Add("aa", 2)
+	s := r.String()
+	if !strings.Contains(s, "count aa") || !strings.Contains(s, "timer zz") {
+		t.Errorf("String output:\n%s", s)
+	}
+	// Sorted: counters (aa) before timers (zz) alphabetically by name.
+	if strings.Index(s, "aa") > strings.Index(s, "zz") {
+		t.Error("output not sorted")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Observe("t", time.Microsecond)
+				r.Add("c", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Timer("t").Count != 8000 || r.Counter("c") != 8000 {
+		t.Errorf("lost updates: %d %d", r.Timer("t").Count, r.Counter("c"))
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("fail-locks")
+	if s.Name() != "fail-locks" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	for i := 0; i < 5; i++ {
+		s.Append(float64(i))
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	vals := s.Values()
+	vals[0] = 99
+	if s.Values()[0] != 0 {
+		t.Error("Values aliases internal slice")
+	}
+	for i, v := range s.Values() {
+		if v != float64(i) {
+			t.Errorf("vals[%d] = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package msg
+
+import (
+	"testing"
+
+	"minraid/internal/core"
+)
+
+func benchPrepare() *Envelope {
+	vec := core.NewSessionVector(4)
+	writes := make([]core.ItemVersion, 5)
+	for i := range writes {
+		writes[i] = core.ItemVersion{
+			Item:    core.ItemID(i),
+			Version: core.TxnID(i + 1),
+			Value:   []byte("payload-12345678"),
+		}
+	}
+	return &Envelope{
+		From: 0, To: 1, Seq: 42,
+		Body: &Prepare{Txn: 7, Vector: vec.Records(), Writes: writes},
+	}
+}
+
+func BenchmarkMarshalPrepare(b *testing.B) {
+	env := benchPrepare()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(env)
+	}
+}
+
+func BenchmarkUnmarshalPrepare(b *testing.B) {
+	buf := Marshal(benchPrepare())
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalCommit(b *testing.B) {
+	env := &Envelope{From: 0, To: 1, Seq: 1, Body: &Commit{Txn: 9}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(env)
+	}
+}
+
+func BenchmarkRecoverAckWithFailLocks(b *testing.B) {
+	// A type-1 ack for a 1000-item database: the heaviest control
+	// message in the protocol ("dependent on the size of the database",
+	// §2.2.2).
+	locks := make([]uint64, 1000)
+	for i := range locks {
+		locks[i] = uint64(i) * 0x9E3779B9
+	}
+	vec := core.NewSessionVector(8)
+	env := &Envelope{From: 1, To: 0, Seq: 5, ReplyTo: 4,
+		Body: &CtrlRecoverAck{OK: true, Vector: vec.Records(), FailLocks: locks}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := Marshal(env)
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

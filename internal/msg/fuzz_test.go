@@ -1,0 +1,40 @@
+package msg
+
+import (
+	"testing"
+
+	"minraid/internal/core"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the envelope decoder: it must
+// never panic, and anything it accepts must re-marshal to a decodable
+// envelope (decode-encode-decode stability).
+func FuzzUnmarshal(f *testing.F) {
+	vec := core.NewSessionVector(3)
+	seeds := []*Envelope{
+		{From: 0, To: 1, Seq: 1, Body: &ClientTxn{Txn: 1, Ops: []core.Op{core.Read(1), core.Write(2, []byte("v"))}}},
+		{From: 1, To: 0, Seq: 2, ReplyTo: 1, Body: &TxnResult{Txn: 1, Committed: true}},
+		{From: 0, To: 1, Seq: 3, Body: &Prepare{Txn: 2, Vector: vec.Records(), Writes: []core.ItemVersion{{Item: 1, Version: 2, Value: []byte("w")}}, MaintOnly: []core.ItemID{3}}},
+		{From: 2, To: 0, Seq: 4, Body: &CtrlRecoverAck{OK: true, Vector: vec.Records(), FailLocks: []uint64{1, 2, 3}}},
+		{From: 0, To: 2, Seq: 5, Body: &ReadReq{Txn: 9, Items: []core.ItemID{0, 1}, RequireFresh: true}},
+	}
+	for _, env := range seeds {
+		f.Add(Marshal(env))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unmarshal(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		re, err := Unmarshal(Marshal(env))
+		if err != nil {
+			t.Fatalf("accepted envelope failed re-decode: %v", err)
+		}
+		if re.Body.Kind() != env.Body.Kind() || re.Seq != env.Seq || re.From != env.From {
+			t.Fatalf("re-decode changed identity: %v vs %v", env, re)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package msg
+
+import (
+	"fmt"
+
+	"minraid/internal/core"
+	"minraid/internal/wire"
+)
+
+// Envelope wraps a message body with routing and correlation metadata.
+//
+// Seq is unique per sending site; a reply carries the request's Seq in
+// ReplyTo so the sender can match it to its pending call, exactly like an
+// RPC transaction ID. Requests have ReplyTo == 0.
+type Envelope struct {
+	From    core.SiteID
+	To      core.SiteID
+	Seq     uint64
+	ReplyTo uint64
+	Body    Body
+}
+
+// String implements fmt.Stringer.
+func (e *Envelope) String() string {
+	return fmt.Sprintf("%s->%s #%d re#%d %s", e.From, e.To, e.Seq, e.ReplyTo, e.Body.Kind())
+}
+
+// Body is a protocol message payload.
+type Body interface {
+	// Kind identifies the body type on the wire.
+	Kind() Kind
+	// encode appends the body to enc.
+	encode(enc *wire.Encoder)
+	// decode reads the body from dec; errors surface via dec.Err.
+	decode(dec *wire.Decoder)
+}
+
+// Marshal encodes an envelope to bytes.
+func Marshal(env *Envelope) []byte {
+	enc := wire.NewEncoder(64)
+	enc.Uint8(uint8(env.From))
+	enc.Uint8(uint8(env.To))
+	enc.Uvarint(env.Seq)
+	enc.Uvarint(env.ReplyTo)
+	enc.Uint8(uint8(env.Body.Kind()))
+	env.Body.encode(enc)
+	return enc.Bytes()
+}
+
+// Unmarshal decodes an envelope from bytes.
+func Unmarshal(buf []byte) (*Envelope, error) {
+	dec := wire.NewDecoder(buf)
+	env := &Envelope{
+		From:    core.SiteID(dec.Uint8()),
+		To:      core.SiteID(dec.Uint8()),
+		Seq:     dec.Uvarint(),
+		ReplyTo: dec.Uvarint(),
+	}
+	kind := Kind(dec.Uint8())
+	if dec.Err() != nil {
+		return nil, fmt.Errorf("msg: decoding envelope header: %w", dec.Err())
+	}
+	body := newBody(kind)
+	if body == nil {
+		return nil, fmt.Errorf("msg: %w: unknown kind %d", wire.ErrCorrupt, kind)
+	}
+	body.decode(dec)
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("msg: decoding %s body: %w", kind, err)
+	}
+	env.Body = body
+	return env, nil
+}
+
+// newBody returns a zero body for kind, or nil for an unknown kind.
+func newBody(kind Kind) Body {
+	switch kind {
+	case KindClientTxn:
+		return &ClientTxn{}
+	case KindTxnResult:
+		return &TxnResult{}
+	case KindPrepare:
+		return &Prepare{}
+	case KindPrepareAck:
+		return &PrepareAck{}
+	case KindCommit:
+		return &Commit{}
+	case KindCommitAck:
+		return &CommitAck{}
+	case KindAbort:
+		return &Abort{}
+	case KindCopyRequest:
+		return &CopyRequest{}
+	case KindCopyResponse:
+		return &CopyResponse{}
+	case KindClearFailLocks:
+		return &ClearFailLocks{}
+	case KindClearFailLocksAck:
+		return &ClearFailLocksAck{}
+	case KindCtrlRecover:
+		return &CtrlRecover{}
+	case KindCtrlRecoverAck:
+		return &CtrlRecoverAck{}
+	case KindCtrlFail:
+		return &CtrlFail{}
+	case KindCtrlFailAck:
+		return &CtrlFailAck{}
+	case KindCtrlReplicate:
+		return &CtrlReplicate{}
+	case KindCtrlReplicateAck:
+		return &CtrlReplicateAck{}
+	case KindReadReq:
+		return &ReadReq{}
+	case KindReadResp:
+		return &ReadResp{}
+	case KindFailSim:
+		return &FailSim{}
+	case KindRecoverSim:
+		return &RecoverSim{}
+	case KindStatusReq:
+		return &StatusReq{}
+	case KindStatusResp:
+		return &StatusResp{}
+	case KindDumpReq:
+		return &DumpReq{}
+	case KindDumpResp:
+		return &DumpResp{}
+	case KindShutdown:
+		return &Shutdown{}
+	default:
+		return nil
+	}
+}
+
+// Shared field encodings.
+
+func encodeOps(enc *wire.Encoder, ops []core.Op) {
+	enc.Uvarint(uint64(len(ops)))
+	for _, op := range ops {
+		enc.Uint8(uint8(op.Kind))
+		enc.Uvarint(uint64(op.Item))
+		if op.Kind == core.OpWrite {
+			enc.PutBytes(op.Value)
+		}
+	}
+}
+
+func decodeOps(dec *wire.Decoder) []core.Op {
+	n := dec.SliceLen()
+	if dec.Err() != nil || n == 0 {
+		return nil
+	}
+	ops := make([]core.Op, 0, n)
+	for i := 0; i < n; i++ {
+		op := core.Op{Kind: core.OpKind(dec.Uint8()), Item: core.ItemID(dec.Uvarint())}
+		if op.Kind == core.OpWrite {
+			op.Value = dec.Bytes()
+		}
+		if dec.Err() != nil {
+			return nil
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func encodeItemVersions(enc *wire.Encoder, ivs []core.ItemVersion) {
+	enc.Uvarint(uint64(len(ivs)))
+	for _, iv := range ivs {
+		enc.Uvarint(uint64(iv.Item))
+		enc.Uvarint(uint64(iv.Version))
+		enc.PutBytes(iv.Value)
+	}
+}
+
+func decodeItemVersions(dec *wire.Decoder) []core.ItemVersion {
+	n := dec.SliceLen()
+	if dec.Err() != nil || n == 0 {
+		return nil
+	}
+	ivs := make([]core.ItemVersion, 0, n)
+	for i := 0; i < n; i++ {
+		iv := core.ItemVersion{
+			Item:    core.ItemID(dec.Uvarint()),
+			Version: core.TxnID(dec.Uvarint()),
+			Value:   dec.Bytes(),
+		}
+		if dec.Err() != nil {
+			return nil
+		}
+		ivs = append(ivs, iv)
+	}
+	return ivs
+}
+
+func encodeVector(enc *wire.Encoder, recs []core.SiteInfo) {
+	enc.Uvarint(uint64(len(recs)))
+	for _, r := range recs {
+		enc.Uvarint(uint64(r.Session))
+		enc.Uint8(uint8(r.Status))
+	}
+}
+
+func decodeVector(dec *wire.Decoder) []core.SiteInfo {
+	n := dec.SliceLen()
+	if dec.Err() != nil || n == 0 {
+		return nil
+	}
+	recs := make([]core.SiteInfo, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, core.SiteInfo{
+			Session: core.SessionNum(dec.Uvarint()),
+			Status:  core.Status(dec.Uint8()),
+		})
+	}
+	if dec.Err() != nil {
+		return nil
+	}
+	return recs
+}
+
+func encodeItems(enc *wire.Encoder, items []core.ItemID) {
+	enc.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		enc.Uvarint(uint64(it))
+	}
+}
+
+func decodeItems(dec *wire.Decoder) []core.ItemID {
+	n := dec.SliceLen()
+	if dec.Err() != nil || n == 0 {
+		return nil
+	}
+	items := make([]core.ItemID, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, core.ItemID(dec.Uvarint()))
+	}
+	if dec.Err() != nil {
+		return nil
+	}
+	return items
+}

@@ -1,0 +1,75 @@
+// Package netcfg parses the address-map syntax shared by the TCP
+// deployment commands (cmd/raidsrv, cmd/raidctl):
+//
+//	0=host:port,1=host:port,...,m=host:port
+//
+// Numeric keys are database sites; "m" is the managing site.
+package netcfg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"minraid/internal/core"
+)
+
+// ParseAddrs parses an address map. It requires at least one database site
+// and contiguous site numbering from 0, so the site count is unambiguous.
+func ParseAddrs(spec string) (map[core.SiteID]string, int, error) {
+	addrs := make(map[core.SiteID]string)
+	maxSite := -1
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 1 {
+			return nil, 0, fmt.Errorf("netcfg: bad entry %q (want id=host:port)", part)
+		}
+		key, addr := part[:eq], part[eq+1:]
+		if addr == "" {
+			return nil, 0, fmt.Errorf("netcfg: empty address in %q", part)
+		}
+		if key == "m" {
+			addrs[core.ManagingSite] = addr
+			continue
+		}
+		n, err := strconv.Atoi(key)
+		if err != nil || n < 0 || n >= core.MaxSites {
+			return nil, 0, fmt.Errorf("netcfg: bad site id %q", key)
+		}
+		id := core.SiteID(n)
+		if _, dup := addrs[id]; dup {
+			return nil, 0, fmt.Errorf("netcfg: duplicate site %d", n)
+		}
+		addrs[id] = addr
+		if n > maxSite {
+			maxSite = n
+		}
+	}
+	if maxSite < 0 {
+		return nil, 0, fmt.Errorf("netcfg: no database sites in %q", spec)
+	}
+	sites := maxSite + 1
+	for i := 0; i < sites; i++ {
+		if _, ok := addrs[core.SiteID(i)]; !ok {
+			return nil, 0, fmt.Errorf("netcfg: missing address for site %d (sites must be numbered 0..%d)", i, maxSite)
+		}
+	}
+	return addrs, sites, nil
+}
+
+// Format renders an address map back to the flag syntax, with sites in
+// order and the managing entry last.
+func Format(addrs map[core.SiteID]string, sites int) string {
+	var parts []string
+	for i := 0; i < sites; i++ {
+		parts = append(parts, fmt.Sprintf("%d=%s", i, addrs[core.SiteID(i)]))
+	}
+	if m, ok := addrs[core.ManagingSite]; ok {
+		parts = append(parts, "m="+m)
+	}
+	return strings.Join(parts, ",")
+}

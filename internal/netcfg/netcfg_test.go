@@ -1,0 +1,60 @@
+package netcfg
+
+import (
+	"testing"
+
+	"minraid/internal/core"
+)
+
+func TestParseAddrs(t *testing.T) {
+	addrs, sites, err := ParseAddrs("0=h:1,1=h:2,m=h:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites != 2 {
+		t.Errorf("sites = %d", sites)
+	}
+	if addrs[0] != "h:1" || addrs[1] != "h:2" || addrs[core.ManagingSite] != "h:9" {
+		t.Errorf("addrs = %v", addrs)
+	}
+}
+
+func TestParseAddrsWhitespaceAndNoManager(t *testing.T) {
+	addrs, sites, err := ParseAddrs(" 0=h:1 , 1=h:2 ")
+	if err != nil || sites != 2 {
+		t.Fatalf("err=%v sites=%d", err, sites)
+	}
+	if _, ok := addrs[core.ManagingSite]; ok {
+		t.Error("phantom manager entry")
+	}
+}
+
+func TestParseAddrsErrors(t *testing.T) {
+	bad := []string{
+		"",              // empty
+		"m=h:9",         // no database sites
+		"0=h:1,2=h:3",   // gap
+		"0=h:1,0=h:2",   // duplicate
+		"x=h:1",         // bad key
+		"0h:1",          // no '='
+		"0=",            // empty addr
+		"0=h:1,999=h:2", // out of range
+		"=h:1,0=h:2",    // empty key
+	}
+	for _, spec := range bad {
+		if _, _, err := ParseAddrs(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	spec := "0=a:1,1=b:2,m=c:3"
+	addrs, sites, err := ParseAddrs(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Format(addrs, sites); got != spec {
+		t.Errorf("Format = %q, want %q", got, spec)
+	}
+}

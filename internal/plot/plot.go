@@ -1,0 +1,199 @@
+// Package plot renders experiment series as ASCII line charts and CSV.
+// The charts regenerate the paper's figures ("Number of Fail-Locks Set"
+// vs. "Number of Transactions") directly in the terminal; the CSV output
+// feeds external plotting when publication-quality figures are wanted.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart: Y values at X = 1, 2, 3, ... (transaction
+// numbers, as in the paper's figures).
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers distinguish series, mirroring the paper's solid/dashed/dotted
+// line styles.
+var markers = []byte{'*', '+', 'o', 'x', '@', '%'}
+
+// Chart renders the series into a width x height character grid with axes
+// and a legend. Width and height are the plot area, excluding axes.
+func Chart(title string, width, height int, series []Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+
+	maxX, maxY := 0, 0.0
+	for _, s := range series {
+		if len(s.Y) > maxX {
+			maxX = len(s.Y)
+		}
+		for _, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxX == 0 {
+		return title + "\n(no data)\n"
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, y := range s.Y {
+			col := 0
+			if maxX > 1 {
+				col = i * (width - 1) / (maxX - 1)
+			}
+			row := height - 1 - int(math.Round(y/maxY*float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s", markers[si%len(markers)], s.Name)
+	}
+	if len(series) > 0 {
+		b.WriteByte('\n')
+	}
+	// Plot rows with sparse y labels.
+	for r := 0; r < height; r++ {
+		yVal := maxY * float64(height-1-r) / float64(height-1)
+		if r == 0 || r == height-1 || r == height/2 {
+			fmt.Fprintf(&b, "%6.0f |", yVal)
+		} else {
+			b.WriteString("       |")
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	// X axis.
+	b.WriteString("       +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	// X labels: first, middle, last.
+	label := func(v int) string { return fmt.Sprintf("%d", v) }
+	first, mid, last := label(1), label(maxX/2), label(maxX)
+	line := make([]byte, width+8)
+	for i := range line {
+		line[i] = ' '
+	}
+	copy(line[8:], first)
+	midPos := 8 + (width-1)/2 - len(mid)/2
+	if midPos > 8+len(first) {
+		copy(line[midPos:], mid)
+	}
+	lastPos := 8 + width - len(last)
+	if lastPos > midPos+len(mid) {
+		copy(line[lastPos:], last)
+	}
+	b.Write(line)
+	b.WriteByte('\n')
+	b.WriteString("        (transaction number)\n")
+	return b.String()
+}
+
+// CSV writes the series as a CSV table: one row per X with a column per
+// series. Shorter series pad with empty cells.
+func CSV(w io.Writer, xName string, series []Series) error {
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, xName)
+	maxX := 0
+	for _, s := range series {
+		cols = append(cols, s.Name)
+		if len(s.Y) > maxX {
+			maxX = len(s.Y)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < maxX; i++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%d", i+1))
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, trimFloat(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Table renders a simple aligned two-column table, for the experiment-1
+// style overhead tables.
+type Table struct {
+	Title string
+	rows  [][2]string
+}
+
+// NewTable returns an empty table.
+func NewTable(title string) *Table { return &Table{Title: title} }
+
+// Row appends one label/value row.
+func (t *Table) Row(label, value string) *Table {
+	t.rows = append(t.rows, [2]string{label, value})
+	return t
+}
+
+// Rowf appends a formatted row.
+func (t *Table) Rowf(label, format string, args ...any) *Table {
+	return t.Row(label, fmt.Sprintf(format, args...))
+}
+
+// String implements fmt.Stringer.
+func (t *Table) String() string {
+	width := 0
+	for _, r := range t.rows {
+		if len(r[0]) > width {
+			width = len(r[0])
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(t.Title)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, r[0], r[1])
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	s := []Series{{Name: "site 0", Y: []float64{0, 10, 20, 30, 20, 10, 0}}}
+	out := Chart("Figure 1", 40, 10, s)
+	if !strings.Contains(out, "Figure 1") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "site 0") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data points plotted")
+	}
+	if !strings.Contains(out, "transaction number") {
+		t.Error("x-axis caption missing")
+	}
+	// Peak (30) must appear on the top plot row.
+	lines := strings.Split(out, "\n")
+	var topRow string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			topRow = l
+			break
+		}
+	}
+	if !strings.Contains(topRow, "*") {
+		t.Errorf("peak not on top row: %q", topRow)
+	}
+}
+
+func TestChartMultiSeriesMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "a", Y: []float64{1, 2, 3}},
+		{Name: "b", Y: []float64{3, 2, 1}},
+	}
+	out := Chart("two", 30, 8, s)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", 30, 8, nil)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestChartAllZero(t *testing.T) {
+	out := Chart("zeros", 20, 6, []Series{{Name: "z", Y: []float64{0, 0, 0}}})
+	if !strings.Contains(out, "*") {
+		t.Error("zero series not plotted on baseline")
+	}
+}
+
+func TestChartClampsTinyDims(t *testing.T) {
+	out := Chart("tiny", 1, 1, []Series{{Name: "s", Y: []float64{1}}})
+	if out == "" {
+		t.Error("tiny chart empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, "txn", []Series{
+		{Name: "site 0", Y: []float64{5, 4.5}},
+		{Name: "site 1", Y: []float64{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "txn,site 0,site 1\n1,5,1\n2,4.5,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("Overhead").
+		Row("without fail-locks", "176 ms").
+		Rowf("with fail-locks", "%d ms", 186)
+	out := tbl.String()
+	if !strings.Contains(out, "Overhead") || !strings.Contains(out, "176 ms") || !strings.Contains(out, "186 ms") {
+		t.Errorf("table output:\n%s", out)
+	}
+	// Aligned: both value columns start at the same offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	i1 := strings.Index(lines[2], "176")
+	i2 := strings.Index(lines[3], "186")
+	if i1 != i2 {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" || trimFloat(4.5) != "4.5" {
+		t.Error("trimFloat formatting")
+	}
+}

@@ -1,0 +1,178 @@
+// Package policy abstracts the replicated-copy-control strategy a site
+// executes, so the transaction engine can run the paper's protocol and the
+// baselines it is compared against through one code path:
+//
+//   - ROWAA — read-one/write-all-available with session vectors and
+//     fail-locks, the paper's protocol. "A protocol using the ROWAA
+//     strategy allows transaction processing as long as a single copy is
+//     available" (§1.1).
+//   - ROWA — classic read-one/write-ALL: every write must reach every
+//     site, so a single site failure blocks all writes. This is the
+//     baseline whose poor availability motivates ROWAA.
+//   - Quorum — majority read/write voting with version numbers (the
+//     [ElAb85]/[Bern84] family the paper cites): available while a
+//     majority is up, but every read costs a round of messages.
+package policy
+
+import "minraid/internal/core"
+
+// Policy is the replication strategy consulted by the transaction engine
+// at its decision points.
+type Policy interface {
+	// Name returns the policy's short name ("rowaa", "rowa", "quorum").
+	Name() string
+
+	// UsesFailLocks reports whether the protocol maintains fail-locks at
+	// commit time and runs copier transactions during recovery. Only
+	// ROWAA does.
+	UsesFailLocks() bool
+
+	// LocalRead reports whether a read is served from the coordinator's
+	// own copy (read-one). When false the coordinator must collect
+	// ReadQuorum versioned copies and take the highest version.
+	LocalRead() bool
+
+	// ReadQuorum returns the number of copies (including the
+	// coordinator's own) a read must observe, for an n-site system.
+	ReadQuorum(n int) int
+
+	// WriteTargets returns the sites (excluding self) that must receive
+	// the phase-one copy update, given the coordinator's nominal session
+	// vector.
+	WriteTargets(vec core.SessionVector, self core.SiteID) []core.SiteID
+
+	// RequiredAcks returns the number of positive phase-one acks, out of
+	// the contacted targets, needed to commit in an n-site system. The
+	// coordinator's own copy is always written and is not counted.
+	RequiredAcks(n, contacted int) int
+
+	// AbortOnMissingAck reports whether a missing or negative ack from a
+	// contacted target aborts the transaction even when RequiredAcks is
+	// already met. ROWAA and ROWA abort (a perceived-up site failed
+	// mid-transaction — Appendix A); quorum tolerates stragglers.
+	AbortOnMissingAck() bool
+}
+
+// Majority returns the majority quorum size for n sites.
+func Majority(n int) int { return n/2 + 1 }
+
+// ROWAA is the paper's read-one/write-all-available protocol. "If a
+// transaction on an operational site knows that a particular site k is
+// down, the transaction does not attempt to read a copy from site k or to
+// send an update to site k" (§1.1) — hence write targets come from the
+// nominal session vector.
+type ROWAA struct{}
+
+// Name implements Policy.
+func (ROWAA) Name() string { return "rowaa" }
+
+// UsesFailLocks implements Policy.
+func (ROWAA) UsesFailLocks() bool { return true }
+
+// LocalRead implements Policy.
+func (ROWAA) LocalRead() bool { return true }
+
+// ReadQuorum implements Policy.
+func (ROWAA) ReadQuorum(int) int { return 1 }
+
+// WriteTargets implements Policy: all operational sites except self.
+func (ROWAA) WriteTargets(vec core.SessionVector, self core.SiteID) []core.SiteID {
+	return vec.Operational(self)
+}
+
+// RequiredAcks implements Policy: write-all-available means every
+// contacted (perceived-up) site must ack.
+func (ROWAA) RequiredAcks(_, contacted int) int { return contacted }
+
+// AbortOnMissingAck implements Policy: "if ack received from all
+// participating sites [commit] else abort database transaction; run control
+// type 2 transaction" (Appendix A.1).
+func (ROWAA) AbortOnMissingAck() bool { return true }
+
+// ROWA is the strict read-one/write-all baseline: it ignores the session
+// vector and insists every copy in the system receives every write. Any
+// down site therefore blocks all write transactions — the availability gap
+// ROWAA exists to close.
+type ROWA struct{}
+
+// Name implements Policy.
+func (ROWA) Name() string { return "rowa" }
+
+// UsesFailLocks implements Policy: with write-all semantics no committed
+// write can ever be missed by a site, so there is nothing to fail-lock.
+func (ROWA) UsesFailLocks() bool { return false }
+
+// LocalRead implements Policy.
+func (ROWA) LocalRead() bool { return true }
+
+// ReadQuorum implements Policy.
+func (ROWA) ReadQuorum(int) int { return 1 }
+
+// WriteTargets implements Policy: every site except self, up or not.
+func (ROWA) WriteTargets(vec core.SessionVector, self core.SiteID) []core.SiteID {
+	out := make([]core.SiteID, 0, vec.Len()-1)
+	for i := 0; i < vec.Len(); i++ {
+		if id := core.SiteID(i); id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RequiredAcks implements Policy.
+func (ROWA) RequiredAcks(_, contacted int) int { return contacted }
+
+// AbortOnMissingAck implements Policy.
+func (ROWA) AbortOnMissingAck() bool { return true }
+
+// Quorum is majority read/write voting with version numbers. Reads collect
+// a majority of versioned copies and take the highest version; writes
+// commit once a majority of copies (including the coordinator's) is
+// updated. Stragglers and down sites are tolerated as long as a majority
+// answers.
+type Quorum struct{}
+
+// Name implements Policy.
+func (Quorum) Name() string { return "quorum" }
+
+// UsesFailLocks implements Policy: version voting subsumes staleness
+// tracking — an out-of-date copy simply loses the vote.
+func (Quorum) UsesFailLocks() bool { return false }
+
+// LocalRead implements Policy.
+func (Quorum) LocalRead() bool { return false }
+
+// ReadQuorum implements Policy.
+func (Quorum) ReadQuorum(n int) int { return Majority(n) }
+
+// WriteTargets implements Policy: try everyone; the ack count decides.
+func (Quorum) WriteTargets(vec core.SessionVector, self core.SiteID) []core.SiteID {
+	return ROWA{}.WriteTargets(vec, self)
+}
+
+// RequiredAcks implements Policy: a majority including the coordinator's
+// own copy, so Majority(n)-1 acks from others.
+func (Quorum) RequiredAcks(n, _ int) int { return Majority(n) - 1 }
+
+// AbortOnMissingAck implements Policy.
+func (Quorum) AbortOnMissingAck() bool { return false }
+
+// ByName returns the policy with the given Name.
+func ByName(name string) (Policy, bool) {
+	switch name {
+	case "rowaa":
+		return ROWAA{}, true
+	case "rowa":
+		return ROWA{}, true
+	case "quorum":
+		return Quorum{}, true
+	default:
+		return nil, false
+	}
+}
+
+var (
+	_ Policy = ROWAA{}
+	_ Policy = ROWA{}
+	_ Policy = Quorum{}
+)

@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"testing"
+
+	"minraid/internal/core"
+)
+
+func vecWithDown(n int, down ...core.SiteID) core.SessionVector {
+	v := core.NewSessionVector(n)
+	for _, d := range down {
+		v.MarkDown(d)
+	}
+	return v
+}
+
+func TestMajority(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 7: 4}
+	for n, want := range cases {
+		if got := Majority(n); got != want {
+			t.Errorf("Majority(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"rowaa", "rowa", "quorum"} {
+		p, ok := ByName(name)
+		if !ok || p.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, ok)
+		}
+	}
+	if _, ok := ByName("paxos"); ok {
+		t.Error("unknown policy resolved")
+	}
+}
+
+func TestROWAAWriteTargetsSkipDown(t *testing.T) {
+	vec := vecWithDown(4, 2)
+	got := ROWAA{}.WriteTargets(vec, 0)
+	want := []core.SiteID{1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestROWAAAcks(t *testing.T) {
+	p := ROWAA{}
+	if !p.UsesFailLocks() || !p.LocalRead() || !p.AbortOnMissingAck() {
+		t.Error("ROWAA flags wrong")
+	}
+	if p.ReadQuorum(5) != 1 {
+		t.Error("ROWAA reads one copy")
+	}
+	if p.RequiredAcks(4, 2) != 2 {
+		t.Error("ROWAA requires all contacted acks")
+	}
+}
+
+func TestROWAContactsDownSites(t *testing.T) {
+	vec := vecWithDown(4, 2)
+	got := ROWA{}.WriteTargets(vec, 1)
+	want := []core.SiteID{0, 2, 3} // includes the down site 2
+	if len(got) != len(want) {
+		t.Fatalf("targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", got, want)
+		}
+	}
+	p := ROWA{}
+	if p.UsesFailLocks() {
+		t.Error("ROWA must not use fail-locks")
+	}
+	if p.RequiredAcks(4, 3) != 3 || !p.AbortOnMissingAck() {
+		t.Error("ROWA must require every ack")
+	}
+}
+
+func TestQuorumSemantics(t *testing.T) {
+	p := Quorum{}
+	if p.UsesFailLocks() || p.LocalRead() || p.AbortOnMissingAck() {
+		t.Error("quorum flags wrong")
+	}
+	if p.ReadQuorum(4) != 3 {
+		t.Errorf("ReadQuorum(4) = %d", p.ReadQuorum(4))
+	}
+	// Majority of 4 is 3; coordinator counts, so 2 acks from others.
+	if p.RequiredAcks(4, 3) != 2 {
+		t.Errorf("RequiredAcks(4,3) = %d", p.RequiredAcks(4, 3))
+	}
+	vec := vecWithDown(3, 0)
+	if got := p.WriteTargets(vec, 1); len(got) != 2 {
+		t.Errorf("quorum targets = %v, want both other sites", got)
+	}
+}
+
+// The availability contrast that motivates the paper: with one site down in
+// a 4-site system, ROWAA still contacts everyone it believes is up and can
+// commit; ROWA's required-acks can never be met because the down site never
+// answers; quorum needs only a majority.
+func TestAvailabilityContrast(t *testing.T) {
+	vec := vecWithDown(4, 3)
+	self := core.SiteID(0)
+
+	rowaa := ROWAA{}
+	targets := rowaa.WriteTargets(vec, self)
+	if len(targets) != 2 || rowaa.RequiredAcks(4, len(targets)) != 2 {
+		t.Error("ROWAA should proceed with the two live peers")
+	}
+
+	rowa := ROWA{}
+	targets = rowa.WriteTargets(vec, self)
+	// Three targets contacted, three acks required, but site 3 is down:
+	// at most two acks can ever arrive.
+	if rowa.RequiredAcks(4, len(targets)) != 3 {
+		t.Error("ROWA must demand the unreachable ack")
+	}
+
+	q := Quorum{}
+	targets = q.WriteTargets(vec, self)
+	if q.RequiredAcks(4, len(targets)) != 2 {
+		t.Error("quorum should need 2 of 3 contacted")
+	}
+}

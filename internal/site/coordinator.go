@@ -1,0 +1,633 @@
+package site
+
+import (
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+	"minraid/internal/transport"
+	"minraid/internal/txn"
+)
+
+// coordinate runs one database transaction as coordinator (Appendix A.1).
+// It executes under the transaction gate, so transactions are processed
+// serially as in the paper, and replies to the managing site with the
+// outcome and the coordinator-measured elapsed time.
+func (s *Site) coordinate(env *msg.Envelope, body *msg.ClientTxn) {
+	defer s.wg.Done()
+	s.txnGate <- struct{}{}
+	defer func() { <-s.txnGate }()
+
+	start := time.Now()
+	t := txn.Txn{ID: body.Txn, Ops: body.Ops}
+
+	// Concurrent mode: strict 2PL — shared locks on the read set,
+	// exclusive on the write set, held until the transaction completes.
+	// A timeout here is contention or distributed deadlock: abort, the
+	// client may retry.
+	if s.concurrent() {
+		lm := s.lockManager()
+		if err := lm.AcquireAll(t.ID, core.ReadSet(t.Ops), core.WriteSet(t.Ops)); err != nil {
+			lm.Release(t.ID)
+			s.mu.Lock()
+			s.stats.Aborted++
+			up := s.state == core.StatusUp
+			s.mu.Unlock()
+			if up {
+				s.reg.Add(CounterAborts, 1)
+				s.caller.Reply(env, &msg.TxnResult{
+					Txn: t.ID, AbortReason: txn.AbortLockTimeout,
+					ElapsedNanos: uint64(time.Since(start).Nanoseconds()),
+				})
+			}
+			return
+		}
+		defer lm.Release(t.ID)
+	}
+
+	res := s.executeTxn(t)
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	state := s.state
+	if res.Committed {
+		s.stats.Committed++
+	} else {
+		s.stats.Aborted++
+	}
+	s.mu.Unlock()
+	if state != core.StatusUp {
+		return // failed mid-transaction: stay silent
+	}
+
+	if res.Committed {
+		if res.Copiers > 0 {
+			s.reg.Observe(TimerCoordTxnCopier, elapsed)
+		} else {
+			s.reg.Observe(TimerCoordTxn, elapsed)
+		}
+		s.reg.Add(CounterCommits, 1)
+	} else {
+		s.reg.Add(CounterAborts, 1)
+	}
+	s.caller.Reply(env, &msg.TxnResult{
+		Txn:          res.Txn,
+		Committed:    res.Committed,
+		AbortReason:  res.AbortReason,
+		Reads:        res.Reads,
+		Copiers:      uint32(res.Copiers),
+		ElapsedNanos: uint64(elapsed.Nanoseconds()),
+	})
+
+	s.mu.Lock()
+	armed := s.batchArmed
+	s.mu.Unlock()
+	if res.Committed && armed {
+		// Committing (or the copiers above) may have crossed the
+		// two-step recovery threshold; re-evaluate once the gate frees.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.checkBatchTrigger()
+		}()
+	}
+}
+
+// executeTxn is the coordinator's transaction body. The structure follows
+// Appendix A.1: copier transactions first, then reads, then the two-phase
+// commit of the written items.
+func (s *Site) executeTxn(t txn.Txn) txn.Result {
+	res := txn.Result{Txn: t.ID}
+	if err := t.Validate(s.cfg.Items); err != nil {
+		res.AbortReason = txn.AbortInvalid
+		return res
+	}
+
+	// "if transaction contains read operation for a fail-locked copy then
+	// run copier transaction" (Appendix A.1).
+	if s.pol.UsesFailLocks() && !s.cfg.DisableFailLockMaintenance {
+		stale := s.staleReadItems(t)
+		if len(stale) > 0 {
+			n, reason := s.runCopiers(stale, t.ID, false)
+			res.Copiers += n
+			if reason != "" {
+				res.AbortReason = reason
+				return res
+			}
+		}
+	}
+
+	// Reads observe the pre-transaction state (writes apply at commit).
+	if s.pol.LocalRead() {
+		// Partial replication: fetch items this site does not host from
+		// an up-to-date hosting site (read-one of an available copy).
+		remote, reason := s.remoteReads(t)
+		if reason != "" {
+			res.AbortReason = reason
+			return res
+		}
+		for _, op := range t.Ops {
+			if op.Kind != core.OpRead {
+				continue
+			}
+			if iv, ok := remote[op.Item]; ok {
+				res.Reads = append(res.Reads, iv)
+				continue
+			}
+			iv, err := s.store.Get(op.Item)
+			if err != nil {
+				res.AbortReason = txn.AbortInvalid
+				return res
+			}
+			res.Reads = append(res.Reads, iv)
+		}
+	} else {
+		reads, ok := s.quorumRead(t)
+		if !ok {
+			res.AbortReason = txn.AbortNoQuorum
+			return res
+		}
+		res.Reads = reads
+	}
+
+	writes := t.WriteVersions()
+	if len(writes) == 0 {
+		res.Committed = true
+		return res
+	}
+
+	// Phase one: "issue copy update for written items to every
+	// operational site" (per policy; ROWA contacts every site). Under
+	// partial replication each operational site receives the copies it
+	// hosts plus maintenance-only notices for the rest; an item with no
+	// operational copy at all cannot be written, even by ROWAA.
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		res.AbortReason = txn.AbortSiteDown
+		return res
+	}
+	vec := s.vec.Clone()
+	s.mu.Unlock()
+	targets := s.pol.WriteTargets(vec, s.cfg.ID)
+
+	localWrites := writes
+	perSite := map[core.SiteID][]core.ItemVersion{}
+	perSiteMaint := map[core.SiteID][]core.ItemID{}
+	if !s.replicas.IsFull() {
+		localWrites = localWrites[:0:0]
+		for _, iv := range writes {
+			avail := 0
+			if s.replicas.IsHost(iv.Item, s.cfg.ID) {
+				localWrites = append(localWrites, iv)
+				avail++
+			}
+			for _, target := range targets {
+				if s.replicas.IsHost(iv.Item, target) {
+					perSite[target] = append(perSite[target], iv)
+					avail++
+				} else {
+					perSiteMaint[target] = append(perSiteMaint[target], iv.Item)
+				}
+			}
+			if avail == 0 {
+				res.AbortReason = txn.AbortWriteUnavailable
+				return res
+			}
+		}
+	}
+
+	var acked, nacked, silent []core.SiteID
+	var nackReason string
+	if len(targets) > 0 {
+		replies := s.caller.Multicall(targets, func(target core.SiteID) msg.Body {
+			if s.replicas.IsFull() {
+				return &msg.Prepare{Txn: t.ID, Vector: vec.Records(), Writes: writes}
+			}
+			return &msg.Prepare{
+				Txn:       t.ID,
+				Vector:    vec.Records(),
+				Writes:    perSite[target],
+				MaintOnly: perSiteMaint[target],
+			}
+		})
+		for _, id := range targets {
+			reply, ok := replies[id]
+			switch {
+			case !ok:
+				silent = append(silent, id)
+			case reply.Body.(*msg.PrepareAck).OK:
+				acked = append(acked, id)
+			default:
+				nacked = append(nacked, id)
+				if nackReason == "" {
+					nackReason = reply.Body.(*msg.PrepareAck).Reason
+				}
+			}
+		}
+	}
+
+	required := s.pol.RequiredAcks(s.cfg.Sites, len(targets))
+	if (s.pol.AbortOnMissingAck() && (len(silent) > 0 || len(nacked) > 0)) || len(acked) < required {
+		// "abort database transaction; run control type 2 transaction to
+		// announce failure" (Appendix A.1).
+		s.sendAbort(acked, t.ID)
+		s.announceFailure(s.perceivedUp(vec, silent))
+		switch {
+		case len(silent) > 0:
+			res.AbortReason = txn.AbortParticipantDown
+		case nackReason != "":
+			res.AbortReason = nackReason
+		default:
+			res.AbortReason = txn.AbortNoQuorum
+		}
+		return res
+	}
+
+	// Point of decision: re-validate the vector before ordering anyone to
+	// commit. If a site recovered into a newer session while this
+	// transaction was in flight, its copy was not in the write set and
+	// would miss the write untracked; abort instead — "the status of a
+	// site has changed during the execution of a transaction" (§1.1).
+	s.mu.Lock()
+	staleRecovery := false
+	for k := 0; k < s.vec.Len(); k++ {
+		if s.vec.Session(core.SiteID(k)) > vec.Session(core.SiteID(k)) {
+			staleRecovery = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if staleRecovery {
+		s.sendAbort(acked, t.ID)
+		res.AbortReason = txn.AbortStaleSession
+		return res
+	}
+
+	// Concurrent mode: assign each written item's final version now —
+	// every copy is exclusively locked (locally since acquisition, at
+	// the participants since their prepares), so the local committed
+	// version is the global one and version numbers stay strictly
+	// increasing in commit order.
+	var commitVersions []core.ItemVersion
+	if s.concurrent() {
+		commitVersions = make([]core.ItemVersion, 0, len(writes))
+		for i := range writes {
+			cur, err := s.store.Get(writes[i].Item)
+			if err != nil {
+				panic("site: reading version of locked item: " + err.Error())
+			}
+			writes[i].Version = cur.Version + 1
+			commitVersions = append(commitVersions, core.ItemVersion{
+				Item: writes[i].Item, Version: writes[i].Version,
+			})
+		}
+	}
+
+	// Phase two: "send commit indication to participating sites". A
+	// missing commit ack triggers a type-2 announcement but the
+	// transaction still commits (Appendix A.1).
+	var lost []core.SiteID
+	if len(acked) > 0 {
+		replies := s.caller.Multicall(acked, func(core.SiteID) msg.Body {
+			return &msg.Commit{Txn: t.ID, Versions: commitVersions}
+		})
+		for _, id := range acked {
+			if _, ok := replies[id]; !ok {
+				lost = append(lost, id)
+			}
+		}
+		if len(lost) > 0 {
+			s.announceFailure(s.perceivedUp(vec, lost))
+		}
+	}
+
+	// "commit database data items; update fail-locks for data items."
+	// Maintenance uses the vector the prepares carried, so every
+	// committing site computes identical fail-lock bits for this
+	// transaction.
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		// Failed between phases: the other sites have committed; our
+		// copy will be repaired by fail-locks on recovery. Report abort
+		// locally (no reply is sent anyway).
+		s.mu.Unlock()
+		res.AbortReason = txn.AbortSiteDown
+		return res
+	}
+	for _, iv := range localWrites {
+		if _, err := s.store.Apply(iv); err != nil {
+			panic("site: applying local write: " + err.Error())
+		}
+	}
+	var localMaint []core.ItemID
+	for _, iv := range writes {
+		if !s.replicas.IsHost(iv.Item, s.cfg.ID) {
+			localMaint = append(localMaint, iv.Item)
+		}
+	}
+	s.maintainFailLocksLocked(localWrites, localMaint, vec)
+	s.mu.Unlock()
+
+	// A participant lost between phases may or may not have applied the
+	// commit; conservatively mark this transaction's items stale for it,
+	// everywhere (Appendix A.1 places the fail-lock update after the
+	// type-2 for exactly this case).
+	if len(lost) > 0 {
+		s.markLostParticipants(lost, writes)
+	}
+
+	res.Committed = true
+	return res
+}
+
+// markLostParticipants sets fail-locks for the given sites on the written
+// items, locally and at every operational site, after a phase-two loss.
+func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersion) {
+	items := make([]core.ItemID, 0, len(writes))
+	for _, iv := range writes {
+		items = append(items, iv.Item)
+	}
+	s.mu.Lock()
+	for _, site := range lost {
+		for _, item := range items {
+			if s.replicas.IsHost(item, site) && !s.flocks.IsSet(item, site) {
+				s.flocks.Set(item, site)
+				s.stats.FailLocksSet++
+			}
+		}
+	}
+	targets := s.vec.Operational(s.cfg.ID)
+	s.mu.Unlock()
+	for _, site := range lost {
+		for _, target := range targets {
+			s.caller.Call(target, &msg.ClearFailLocks{Site: site, Items: items, Set: true})
+		}
+	}
+}
+
+// remoteReads fetches fresh copies of the transaction's read items this
+// site does not host, from up-to-date hosting sites. It returns an empty
+// map under full replication. On failure it returns the abort reason.
+func (s *Site) remoteReads(t txn.Txn) (map[core.ItemID]core.ItemVersion, string) {
+	if s.replicas.IsFull() {
+		return nil, ""
+	}
+	s.mu.Lock()
+	byDonor := map[core.SiteID][]core.ItemID{}
+	var order []core.SiteID
+	for _, item := range core.ReadSet(t.Ops) {
+		if s.replicas.IsHost(item, s.cfg.ID) {
+			continue
+		}
+		donor, found := s.pickDonorLocked(item)
+		if !found {
+			s.mu.Unlock()
+			return nil, txn.AbortNoDonor
+		}
+		if _, ok := byDonor[donor]; !ok {
+			order = append(order, donor)
+		}
+		byDonor[donor] = append(byDonor[donor], item)
+	}
+	s.mu.Unlock()
+	if len(order) == 0 {
+		return nil, ""
+	}
+
+	out := make(map[core.ItemID]core.ItemVersion)
+	for _, donor := range order {
+		reply, err := s.caller.Call(donor, &msg.ReadReq{Txn: t.ID, Items: byDonor[donor], RequireFresh: true})
+		if err == transport.ErrCancelled {
+			return nil, txn.AbortSiteDown
+		}
+		if err != nil {
+			s.announceFailure([]core.SiteID{donor})
+			return nil, txn.AbortDonorDown
+		}
+		resp := reply.Body.(*msg.ReadResp)
+		if !resp.OK {
+			return nil, txn.AbortNoDonor
+		}
+		for _, iv := range resp.Items {
+			out[iv.Item] = iv
+		}
+	}
+	return out, ""
+}
+
+// pickDonorLocked returns an operational hosting site holding an
+// up-to-date copy of item. Callers hold mu.
+func (s *Site) pickDonorLocked(item core.ItemID) (core.SiteID, bool) {
+	for _, cand := range s.flocks.UpToDateSites(item, s.cfg.ID) {
+		if s.vec.IsUp(cand) && s.replicas.IsHost(item, cand) {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// staleReadItems returns the distinct items the transaction reads whose
+// local copies are fail-locked for this site. Items this site does not
+// host are excluded: there is no local copy to refresh (remoteReads
+// serves them instead).
+func (s *Site) staleReadItems(t txn.Txn) []core.ItemID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []core.ItemID
+	for _, item := range core.ReadSet(t.Ops) {
+		if s.replicas.IsHost(item, s.cfg.ID) && s.flocks.IsSet(item, s.cfg.ID) {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// runCopiers refreshes the given out-of-date items via copier
+// transactions: read a good copy from an operational up-to-date site,
+// install it locally, clear the local fail-lock, then run the special
+// transaction propagating the clears (§1.2, Appendix A.1).
+//
+// It returns the number of copier transactions issued and, unless
+// bestEffort is set, an abort reason when a copy could not be obtained.
+// Batch refresh (two-step recovery) uses bestEffort: items without a donor
+// are skipped rather than failing the pass.
+func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool) (int, string) {
+	// Choose a donor per item: an operational site whose copy carries no
+	// fail-lock.
+	s.mu.Lock()
+	byDonor := make(map[core.SiteID][]core.ItemID)
+	order := make([]core.SiteID, 0, 2)
+	for _, item := range items {
+		if !s.flocks.IsSet(item, s.cfg.ID) {
+			continue // already refreshed (e.g. by a concurrent commit)
+		}
+		donor, found := s.pickDonorLocked(item)
+		if !found {
+			if bestEffort {
+				continue
+			}
+			s.mu.Unlock()
+			return 0, txn.AbortNoDonor
+		}
+		if _, ok := byDonor[donor]; !ok {
+			order = append(order, donor)
+		}
+		byDonor[donor] = append(byDonor[donor], item)
+	}
+	s.mu.Unlock()
+
+	count := 0
+	var refreshed []core.ItemID
+	for _, donor := range order {
+		reqItems := byDonor[donor]
+		if bestEffort {
+			// Counted before the call: observers watching the fail-lock
+			// count drain must never see completion before the batch
+			// copier shows in the counters.
+			s.reg.Add(CounterBatchCopiers, 1)
+		}
+		reply, err := s.caller.Call(donor, &msg.CopyRequest{Txn: id, Items: reqItems})
+		if err == transport.ErrCancelled {
+			return count, txn.AbortSiteDown
+		}
+		if err != nil {
+			// "site to which copy request sent is now down": abort and
+			// announce (Appendix A.1).
+			s.announceFailure([]core.SiteID{donor})
+			if bestEffort {
+				continue
+			}
+			return count, txn.AbortDonorDown
+		}
+		resp := reply.Body.(*msg.CopyResponse)
+		if !resp.OK {
+			if bestEffort {
+				continue
+			}
+			return count, txn.AbortNoDonor
+		}
+		s.mu.Lock()
+		for _, iv := range resp.Items {
+			if _, err := s.store.Apply(iv); err != nil {
+				panic("site: applying copier write: " + err.Error())
+			}
+			if s.flocks.IsSet(iv.Item, s.cfg.ID) {
+				s.flocks.Clear(iv.Item, s.cfg.ID)
+				s.stats.FailLocksCleared++
+			}
+			refreshed = append(refreshed, iv.Item)
+		}
+		s.stats.CopiersRequested++
+		s.mu.Unlock()
+		count++
+	}
+
+	if len(refreshed) > 0 {
+		s.clearFailLocksEverywhere(refreshed)
+	}
+	return count, ""
+}
+
+// clearFailLocksEverywhere runs the special transaction informing the
+// other operational sites of the fail-lock bits cleared by copier
+// transactions (§1.2). Failures are announced but do not abort: the
+// refreshed copies are already installed.
+func (s *Site) clearFailLocksEverywhere(items []core.ItemID) {
+	s.mu.Lock()
+	targets := s.vec.Operational(s.cfg.ID)
+	s.mu.Unlock()
+	var lost []core.SiteID
+	for _, target := range targets {
+		start := time.Now()
+		_, err := s.caller.Call(target, &msg.ClearFailLocks{Site: s.cfg.ID, Items: items})
+		if err == transport.ErrCancelled {
+			return
+		}
+		if err != nil {
+			lost = append(lost, target)
+			continue
+		}
+		s.reg.Observe(TimerClearFailLocks, time.Since(start))
+	}
+	if len(lost) > 0 {
+		s.announceFailure(lost)
+	}
+}
+
+// quorumRead collects ReadQuorum versioned copies of every read item
+// (counting the local copy) and returns, per read operation, the highest
+// version observed. Used only by the quorum baseline.
+func (s *Site) quorumRead(t txn.Txn) ([]core.ItemVersion, bool) {
+	readSet := core.ReadSet(t.Ops)
+	if len(readSet) == 0 {
+		return nil, true
+	}
+	need := s.pol.ReadQuorum(s.cfg.Sites)
+
+	best := make(map[core.ItemID]core.ItemVersion, len(readSet))
+	for _, item := range readSet {
+		iv, err := s.store.Get(item)
+		if err != nil {
+			return nil, false
+		}
+		best[item] = iv
+	}
+	votes := 1 // the local copy
+
+	if need > 1 {
+		var targets []core.SiteID
+		for i := 0; i < s.cfg.Sites; i++ {
+			if id := core.SiteID(i); id != s.cfg.ID {
+				targets = append(targets, id)
+			}
+		}
+		replies := s.caller.Multicall(targets, func(core.SiteID) msg.Body {
+			return &msg.ReadReq{Txn: t.ID, Items: readSet}
+		})
+		for _, reply := range replies {
+			resp := reply.Body.(*msg.ReadResp)
+			if !resp.OK {
+				continue
+			}
+			votes++
+			for _, iv := range resp.Items {
+				if cur, ok := best[iv.Item]; !ok || iv.Version > cur.Version {
+					best[iv.Item] = iv
+				}
+			}
+		}
+	}
+	if votes < need {
+		return nil, false
+	}
+
+	// Emit in operation order, as TxnResult documents.
+	var out []core.ItemVersion
+	for _, op := range t.Ops {
+		if op.Kind == core.OpRead {
+			out = append(out, best[op.Item])
+		}
+	}
+	return out, true
+}
+
+// sendAbort tells the sites that acked phase one to discard their staged
+// copy updates.
+func (s *Site) sendAbort(acked []core.SiteID, id core.TxnID) {
+	for _, target := range acked {
+		s.caller.Send(target, &msg.Abort{Txn: id})
+	}
+}
+
+// perceivedUp filters ids to those the given vector believes operational —
+// only their silence is news worth a type-2 announcement.
+func (s *Site) perceivedUp(vec core.SessionVector, ids []core.SiteID) []core.SiteID {
+	var out []core.SiteID
+	for _, id := range ids {
+		if vec.IsUp(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

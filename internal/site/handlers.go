@@ -1,0 +1,441 @@
+package site
+
+import (
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/lockmgr"
+	"minraid/internal/msg"
+	"minraid/internal/txn"
+)
+
+// handle dispatches one inbound request. Handlers that only touch local
+// state run inline, preserving arrival order; handlers that must wait for
+// other sites (transaction coordination, recovery, type-3 replication) are
+// spawned so the receive loop stays responsive.
+func (s *Site) handle(env *msg.Envelope) {
+	switch body := env.Body.(type) {
+	case *msg.ClientTxn:
+		s.wg.Add(1)
+		go s.coordinate(env, body)
+	case *msg.Prepare:
+		if s.concurrent() {
+			// Lock acquisition may block; keep the receive loop free.
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handlePrepare(env, body)
+			}()
+		} else {
+			s.handlePrepare(env, body)
+		}
+	case *msg.Commit:
+		s.handleCommit(env, body)
+	case *msg.Abort:
+		s.handleAbort(body)
+	case *msg.CopyRequest:
+		s.handleCopyRequest(env, body)
+	case *msg.ClearFailLocks:
+		s.handleClearFailLocks(env, body)
+	case *msg.CtrlRecover:
+		s.handleCtrlRecover(env, body)
+	case *msg.CtrlFail:
+		s.handleCtrlFail(env, body)
+	case *msg.CtrlReplicate:
+		s.handleCtrlReplicate(env, body)
+	case *msg.ReadReq:
+		s.handleReadReq(env, body)
+	case *msg.StatusReq:
+		s.handleStatusReq(env, body)
+	case *msg.DumpReq:
+		s.handleDumpReq(env, body)
+	case *msg.FailSim:
+		s.failNow()
+		s.caller.Reply(env, &msg.CtrlFailAck{})
+	case *msg.RecoverSim:
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.recoverSite()
+			s.mu.Lock()
+			resp := s.statusRespLocked(false)
+			s.mu.Unlock()
+			s.caller.Reply(env, resp)
+		}()
+	case *msg.Shutdown:
+		// Reply first; Stop closes the endpoint.
+		s.caller.Reply(env, &msg.CtrlFailAck{})
+		go s.Stop()
+	default:
+		// Unknown request kinds are dropped; replies were routed earlier.
+	}
+}
+
+// handlePrepare is phase one at a participant: "receive copy update from
+// coordinating site; send ack to coordinating site" (Appendix A.2). The
+// writes are staged until commit or abort.
+//
+// The prepare carries the coordinator's nominal session vector; if its
+// entry for this site names a different session, the coordinator formed
+// its write set before this site's most recent failure/recovery transition
+// and must abort (status change during execution).
+func (s *Site) handlePrepare(env *msg.Envelope, body *msg.Prepare) {
+	for _, iv := range body.Writes {
+		if int(iv.Item) >= s.cfg.Items {
+			s.caller.Reply(env, &msg.PrepareAck{Txn: body.Txn, OK: false, Reason: txn.AbortInvalid})
+			return
+		}
+	}
+
+	// Concurrent mode: take exclusive locks on this copy of the write
+	// set before staging — the participant half of distributed 2PL. A
+	// timeout (contention or distributed deadlock) is a retriable NACK.
+	var lm *lockmgr.Manager
+	if s.concurrent() {
+		lm = s.lockManager()
+		items := make([]core.ItemID, 0, len(body.Writes))
+		for _, iv := range body.Writes {
+			items = append(items, iv.Item)
+		}
+		if err := lm.AcquireAll(body.Txn, nil, items); err != nil {
+			lm.Release(body.Txn)
+			s.caller.Reply(env, &msg.PrepareAck{Txn: body.Txn, OK: false, Reason: txn.AbortLockTimeout})
+			return
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != core.StatusUp || (lm != nil && lm != s.locks) {
+		// Not operational (or failed while waiting for locks): a
+		// recovering site must not vote. No reply; the coordinator's
+		// timeout handles it.
+		if lm != nil {
+			lm.Release(body.Txn)
+		}
+		return
+	}
+	if int(s.cfg.ID) < len(body.Vector) {
+		if got := body.Vector[s.cfg.ID].Session; got != s.session {
+			if lm != nil {
+				lm.Release(body.Txn)
+			}
+			s.caller.Reply(env, &msg.PrepareAck{Txn: body.Txn, OK: false, Reason: txn.AbortStaleSession})
+			return
+		}
+	}
+	// Reject a prepare whose vector predates a recovery this site knows
+	// about: the coordinator chose its write set before learning that a
+	// site rejoined, so that site would silently miss the write without a
+	// fail-lock. This is the session numbers' stated purpose —
+	// "determining if the status of a site has changed during the
+	// execution of a transaction" (§1.1) — generalized to every entry.
+	for k := 0; k < s.vec.Len() && k < len(body.Vector); k++ {
+		if body.Vector[k].Session < s.vec.Session(core.SiteID(k)) {
+			if lm != nil {
+				lm.Release(body.Txn)
+			}
+			s.caller.Reply(env, &msg.PrepareAck{Txn: body.Txn, OK: false, Reason: txn.AbortStaleSession})
+			return
+		}
+	}
+	st := &stagedTxn{writes: body.Writes, maintOnly: body.MaintOnly, vector: body.Vector, start: time.Now(), coord: env.From, lm: lm}
+	s.staged[body.Txn] = st
+	// Appendix A.2's third arm: "else /* coordinating site has failed */
+	// run control type 2 transaction to announce failure". A participant
+	// that hears neither commit nor abort within the decision timeout
+	// concludes the coordinator died mid-protocol, discards the staged
+	// copy updates, and announces the failure.
+	st.timer = time.AfterFunc(decisionTimeout(s.caller.Timeout()), func() {
+		s.coordinatorLost(body.Txn)
+	})
+	s.caller.Reply(env, &msg.PrepareAck{Txn: body.Txn, OK: true})
+}
+
+// decisionTimeout is how long a participant waits for the coordinator's
+// phase-two decision before presuming it failed. Several ack timeouts: the
+// coordinator itself waits one ack timeout per phase-one straggler before
+// deciding.
+func decisionTimeout(ackTimeout time.Duration) time.Duration { return 4 * ackTimeout }
+
+// coordinatorLost handles a phase-two decision that never arrived.
+func (s *Site) coordinatorLost(id core.TxnID) {
+	s.mu.Lock()
+	st, ok := s.staged[id]
+	if !ok || s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.staged, id)
+	st.finish(id)
+	coord := st.coord
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.announceFailure([]core.SiteID{coord})
+	}()
+}
+
+// handleCommit is phase two at a participant: "commit database data items;
+// update fail-locks for data items" (Appendix A.2).
+func (s *Site) handleCommit(env *msg.Envelope, body *msg.Commit) {
+	s.mu.Lock()
+	st, ok := s.staged[body.Txn]
+	if !ok {
+		// Unknown transaction: the staged state was discarded, either by
+		// a failure simulation or by the decision timeout. The decision
+		// timeout (4x the ack timeout) comfortably exceeds the
+		// coordinator's worst-case phase gap (one ack timeout), so a
+		// commit racing the timeout is not expected in practice; ack so
+		// the coordinator completes, and rely on recovery fail-locks for
+		// repair in the failure-simulation case.
+		s.mu.Unlock()
+		s.caller.Reply(env, &msg.CommitAck{Txn: body.Txn})
+		return
+	}
+	delete(s.staged, body.Txn)
+	defer st.finish(body.Txn)
+	// Concurrent mode ships the final version numbers with the commit;
+	// overlay them onto the staged values.
+	if len(body.Versions) > 0 {
+		byItem := make(map[core.ItemID]core.TxnID, len(body.Versions))
+		for _, v := range body.Versions {
+			byItem[v.Item] = v.Version
+		}
+		for i := range st.writes {
+			if v, ok := byItem[st.writes[i].Item]; ok {
+				st.writes[i].Version = v
+			}
+		}
+	}
+	for _, iv := range st.writes {
+		if _, err := s.store.Apply(iv); err != nil {
+			panic("site: applying staged write: " + err.Error())
+		}
+	}
+	s.maintainFailLocksLocked(st.writes, st.maintOnly, core.VectorFromRecords(st.vector))
+	s.stats.Participated++
+	armed := s.batchArmed
+	s.mu.Unlock()
+	s.reg.Observe(TimerPartTxn, time.Since(st.start))
+	s.caller.Reply(env, &msg.CommitAck{Txn: body.Txn})
+	if armed {
+		// A commit may have dropped the fail-locked fraction below the
+		// two-step recovery threshold.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.checkBatchTrigger()
+		}()
+	}
+}
+
+// handleAbort discards staged copy updates (Appendix A.2).
+func (s *Site) handleAbort(body *msg.Abort) {
+	s.mu.Lock()
+	if st, ok := s.staged[body.Txn]; ok {
+		st.finish(body.Txn)
+		delete(s.staged, body.Txn)
+	}
+	s.mu.Unlock()
+}
+
+// maintainFailLocksLocked performs commit-time fail-lock maintenance for
+// the written items: set the bit of every non-operational site, re-clear
+// the bit of every operational site (§1.2), restricted to each item's
+// hosting sites, judged by the coordinating transaction's session vector
+// (see stagedTxn.vector). maintOnly lists written items this site does
+// not host (partial replication): their fail-locks are maintained too, so
+// tables stay fully replicated. Callers hold mu.
+func (s *Site) maintainFailLocksLocked(writes []core.ItemVersion, maintOnly []core.ItemID, vec core.SessionVector) {
+	if s.cfg.DisableFailLockMaintenance || !s.pol.UsesFailLocks() {
+		return
+	}
+	maintain := func(item core.ItemID) {
+		set, cleared := s.flocks.MaintainMasked(item, vec, s.replicas.HostMask(item))
+		s.stats.FailLocksSet += uint64(set)
+		s.stats.FailLocksCleared += uint64(cleared)
+	}
+	for _, iv := range writes {
+		maintain(iv.Item)
+	}
+	for _, item := range maintOnly {
+		if int(item) < s.cfg.Items {
+			maintain(item)
+		}
+	}
+}
+
+// handleCopyRequest serves a copier transaction as donor: return the
+// requested copies, provided this site's own copies are up to date (no
+// fail-lock set for this site).
+func (s *Site) handleCopyRequest(env *msg.Envelope, body *msg.CopyRequest) {
+	start := time.Now()
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	items := make([]core.ItemVersion, 0, len(body.Items))
+	for _, item := range body.Items {
+		if int(item) >= s.cfg.Items || !s.replicas.IsHost(item, s.cfg.ID) {
+			s.mu.Unlock()
+			s.caller.Reply(env, &msg.CopyResponse{Txn: body.Txn, OK: false, Reason: "donor hosts no copy"})
+			return
+		}
+		if s.flocks.IsSet(item, s.cfg.ID) {
+			s.mu.Unlock()
+			s.caller.Reply(env, &msg.CopyResponse{Txn: body.Txn, OK: false, Reason: "donor copy fail-locked"})
+			return
+		}
+		iv, err := s.store.Get(item)
+		if err != nil {
+			s.mu.Unlock()
+			s.caller.Reply(env, &msg.CopyResponse{Txn: body.Txn, OK: false, Reason: err.Error()})
+			return
+		}
+		items = append(items, iv)
+	}
+	s.stats.CopiesServed++
+	s.mu.Unlock()
+	s.caller.Reply(env, &msg.CopyResponse{Txn: body.Txn, OK: true, Items: items})
+	s.reg.Observe(TimerCopyServe, time.Since(start))
+}
+
+// handleClearFailLocks applies the special transaction that propagates
+// fail-lock clears after copier transactions (§1.2), or — with Set — the
+// conservative fail-lock sets for a participant lost between commit
+// phases.
+func (s *Site) handleClearFailLocks(env *msg.Envelope, body *msg.ClearFailLocks) {
+	s.mu.Lock()
+	for _, item := range body.Items {
+		if int(item) >= s.cfg.Items || int(body.Site) >= s.cfg.Sites {
+			continue
+		}
+		switch {
+		case body.Set && !s.flocks.IsSet(item, body.Site):
+			s.flocks.Set(item, body.Site)
+			s.stats.FailLocksSet++
+		case !body.Set && s.flocks.IsSet(item, body.Site):
+			s.flocks.Clear(item, body.Site)
+			s.stats.FailLocksCleared++
+		}
+	}
+	s.mu.Unlock()
+	s.caller.Reply(env, &msg.ClearFailLocksAck{Txn: body.Txn})
+}
+
+// handleCtrlRecover is a type-1 control transaction at an operational
+// site: record the recovering site's new session number and ship back the
+// session vector and fail-locks (§1.1).
+func (s *Site) handleCtrlRecover(env *msg.Envelope, body *msg.CtrlRecover) {
+	start := time.Now()
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	s.vec.MarkUp(body.Site, body.Session)
+	resp := &msg.CtrlRecoverAck{
+		OK:        true,
+		Vector:    s.vec.Records(),
+		FailLocks: s.flocks.Snapshot(),
+	}
+	s.mu.Unlock()
+	s.caller.Reply(env, resp)
+	s.reg.Observe(TimerCtrl1Operational, time.Since(start))
+}
+
+// handleCtrlFail is a type-2 control transaction at a receiving site: mark
+// the announced sites down, unless this site knows of a newer session for
+// them (the announcement is stale).
+func (s *Site) handleCtrlFail(env *msg.Envelope, body *msg.CtrlFail) {
+	s.mu.Lock()
+	for _, f := range body.Failed {
+		if f.Site == s.cfg.ID {
+			continue // we know our own state better
+		}
+		if int(f.Site) < s.vec.Len() && s.vec.Session(f.Site) <= f.Session {
+			s.vec.MarkDown(f.Site)
+		}
+	}
+	s.mu.Unlock()
+	s.caller.Reply(env, &msg.CtrlFailAck{})
+	if s.cfg.EnableType3 {
+		s.wg.Add(1)
+		go s.maybeReplicate()
+	}
+}
+
+// handleCtrlReplicate is a type-3 control transaction at the backup site:
+// install the pushed copies and clear the local fail-locks for them.
+func (s *Site) handleCtrlReplicate(env *msg.Envelope, body *msg.CtrlReplicate) {
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	for _, iv := range body.Items {
+		if _, err := s.store.Apply(iv); err != nil {
+			s.mu.Unlock()
+			s.caller.Reply(env, &msg.CtrlReplicateAck{OK: false})
+			return
+		}
+		if s.flocks.IsSet(iv.Item, s.cfg.ID) {
+			s.flocks.Clear(iv.Item, s.cfg.ID)
+			s.stats.FailLocksCleared++
+		}
+	}
+	s.mu.Unlock()
+	s.caller.Reply(env, &msg.CtrlReplicateAck{OK: true})
+}
+
+// handleReadReq serves a remote read: version voting for the quorum
+// baseline (any copy qualifies), or a fresh-copy read for partially
+// replicated ROWAA (RequireFresh: this site must host the item and its
+// copy must not be fail-locked).
+func (s *Site) handleReadReq(env *msg.Envelope, body *msg.ReadReq) {
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	items := make([]core.ItemVersion, 0, len(body.Items))
+	for _, item := range body.Items {
+		if body.RequireFresh && (int(item) >= s.cfg.Items ||
+			!s.replicas.IsHost(item, s.cfg.ID) || s.flocks.IsSet(item, s.cfg.ID)) {
+			s.mu.Unlock()
+			s.caller.Reply(env, &msg.ReadResp{Txn: body.Txn, OK: false})
+			return
+		}
+		iv, err := s.store.Get(item)
+		if err != nil {
+			s.mu.Unlock()
+			s.caller.Reply(env, &msg.ReadResp{Txn: body.Txn, OK: false})
+			return
+		}
+		items = append(items, iv)
+	}
+	s.mu.Unlock()
+	s.caller.Reply(env, &msg.ReadResp{Txn: body.Txn, OK: true, Items: items})
+}
+
+// handleStatusReq serves the managing site's instrumentation probe. It is
+// answered even by a failed site: the probe is out-of-band measurement
+// machinery, not a protocol action.
+func (s *Site) handleStatusReq(env *msg.Envelope, body *msg.StatusReq) {
+	s.mu.Lock()
+	resp := s.statusRespLocked(body.IncludeFailLocks)
+	s.mu.Unlock()
+	s.caller.Reply(env, resp)
+}
+
+// handleDumpReq serves the consistency audit.
+func (s *Site) handleDumpReq(env *msg.Envelope, body *msg.DumpReq) {
+	items, err := s.store.Dump(body.First, body.Last)
+	if err != nil {
+		items = nil
+	}
+	s.caller.Reply(env, &msg.DumpResp{Items: items})
+}

@@ -1,0 +1,313 @@
+package site
+
+import (
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+)
+
+// failNow simulates a site failure: the site stops participating in any
+// further system actions (§1.2). In-flight calls are cancelled so a
+// coordination in progress dies silently; staged phase-one writes are
+// discarded (the process's volatile 2PC state is gone); the database copy
+// itself survives in "virtual memory", exactly as in mini-RAID, and will
+// simply miss updates until recovery.
+func (s *Site) failNow() {
+	s.mu.Lock()
+	if s.state == core.StatusDown {
+		s.mu.Unlock()
+		return
+	}
+	s.state = core.StatusDown
+	s.vec.MarkDown(s.cfg.ID)
+	for id, st := range s.staged {
+		st.finish(id)
+	}
+	s.staged = make(map[core.TxnID]*stagedTxn)
+	s.batchArmed = false
+	if s.locks != nil {
+		// A crashed process loses its lock table: fail every waiter and
+		// start the next session with a fresh manager.
+		s.locks.Close()
+		s.locks = newLockManager(s.cfg)
+	}
+	s.mu.Unlock()
+	s.caller.CancelAll()
+}
+
+// recoverSite runs the recovery procedure: bump the session number, run a
+// type-1 control transaction (announce the new session to every site,
+// install the session vector and fail-locks returned by an operational
+// site), and become operational. It returns false if recovery is blocked
+// because no operational site could supply the vector and fail-locks —
+// the situation §3.2 calls "a site's recovery being blocked by the failure
+// of other sites".
+func (s *Site) recoverSite() bool {
+	start := time.Now()
+	s.mu.Lock()
+	if s.state == core.StatusUp {
+		s.mu.Unlock()
+		return true
+	}
+	if s.state != core.StatusDown {
+		s.mu.Unlock()
+		return false
+	}
+	s.state = core.StatusRecovering
+	s.session++
+	session := s.session
+	s.stats.ControlType1++
+	// The announcement goes to every other site; sites that are down
+	// simply never answer. (A stale vector cannot be trusted to say who
+	// is operational — that is what the announcement finds out.)
+	var targets []core.SiteID
+	for i := 0; i < s.cfg.Sites; i++ {
+		if id := core.SiteID(i); id != s.cfg.ID {
+			targets = append(targets, id)
+		}
+	}
+	s.mu.Unlock()
+
+	if len(targets) == 0 {
+		// Single-site system: trivially operational.
+		s.mu.Lock()
+		s.vec.MarkUp(s.cfg.ID, session)
+		s.state = core.StatusUp
+		s.mu.Unlock()
+		s.reg.Observe(TimerCtrl1Recovering, time.Since(start))
+		return true
+	}
+
+	replies := s.caller.Multicall(targets, func(core.SiteID) msg.Body {
+		return &msg.CtrlRecover{Site: s.cfg.ID, Session: session}
+	})
+
+	s.mu.Lock()
+	if s.state != core.StatusRecovering {
+		// A failure order arrived while the announcement was in flight.
+		s.mu.Unlock()
+		return false
+	}
+	installed := false
+	for _, id := range targets {
+		reply, ok := replies[id]
+		if !ok {
+			continue
+		}
+		ack := reply.Body.(*msg.CtrlRecoverAck)
+		if !ack.OK {
+			continue
+		}
+		if !installed {
+			// "obtains a copy of the session vector and fail-locks from
+			// an operational site for the recovering site" (§1.1).
+			if err := s.flocks.Install(ack.FailLocks); err == nil {
+				installed = true
+			}
+		}
+		s.vec.Merge(core.VectorFromRecords(ack.Vector))
+	}
+	if !installed {
+		// Recovery blocked: without fail-locks from an operational site
+		// the out-of-date items cannot be identified. Back to down.
+		s.state = core.StatusDown
+		s.vec.MarkDown(s.cfg.ID)
+		s.mu.Unlock()
+		return false
+	}
+	// Sites that did not answer the announcement are down.
+	for _, id := range targets {
+		if _, ok := replies[id]; !ok && s.vec.IsUp(id) {
+			s.vec.MarkDown(id)
+		}
+	}
+	s.vec.MarkUp(s.cfg.ID, session)
+	s.state = core.StatusUp
+	armBatch := s.cfg.BatchCopierThreshold > 0
+	if armBatch {
+		s.batchArmed = true
+	}
+	s.mu.Unlock()
+	s.reg.Observe(TimerCtrl1Recovering, time.Since(start))
+
+	if armBatch {
+		s.maybeBatchRefresh()
+	}
+	return true
+}
+
+// announceFailure runs a type-2 control transaction for the given sites:
+// mark them down locally, then announce to each remaining operational site
+// so it updates its nominal session vector (§1.1).
+func (s *Site) announceFailure(failed []core.SiteID) {
+	if len(failed) == 0 {
+		return
+	}
+	s.mu.Lock()
+	var fails []msg.SiteFail
+	for _, id := range failed {
+		if id == s.cfg.ID || int(id) >= s.vec.Len() || !s.vec.IsUp(id) {
+			continue
+		}
+		fails = append(fails, msg.SiteFail{Site: id, Session: s.vec.Session(id)})
+		s.vec.MarkDown(id)
+	}
+	if len(fails) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.stats.ControlType2++
+	targets := s.vec.Operational(s.cfg.ID)
+	s.mu.Unlock()
+
+	for _, target := range targets {
+		start := time.Now()
+		if _, err := s.caller.Call(target, &msg.CtrlFail{Failed: fails}); err == nil {
+			// The paper's 68 ms covers "the sending of the failure
+			// announcement to a particular site and the updating of the
+			// session vector at that site".
+			s.reg.Observe(TimerCtrl2, time.Since(start))
+		}
+	}
+	if s.cfg.EnableType3 {
+		s.maybeReplicate0()
+	}
+}
+
+// maybeBatchRefresh implements step two of the paper's proposed two-step
+// recovery (§3.2): once the fraction of items fail-locked for this site is
+// at or below the threshold, refresh every remaining out-of-date copy in
+// batch with copier transactions, instead of waiting for reads to demand
+// them. Runs under the transaction gate so it serializes with database
+// transactions.
+func (s *Site) maybeBatchRefresh() {
+	s.mu.Lock()
+	if !s.batchArmed || s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	locked := s.flocks.ItemsLockedFor(s.cfg.ID)
+	frac := float64(len(locked)) / float64(s.cfg.Items)
+	if len(locked) == 0 {
+		s.batchArmed = false
+		s.mu.Unlock()
+		return
+	}
+	if frac > s.cfg.BatchCopierThreshold {
+		s.mu.Unlock()
+		return // step one: stay demand-driven until below threshold
+	}
+	s.batchArmed = false
+	s.mu.Unlock()
+
+	s.txnGate <- struct{}{}
+	defer func() { <-s.txnGate }()
+	start := time.Now()
+	// Re-read under the gate: commits may have refreshed items meanwhile.
+	s.mu.Lock()
+	locked = s.flocks.ItemsLockedFor(s.cfg.ID)
+	s.mu.Unlock()
+	if len(locked) == 0 {
+		return
+	}
+	// The batch copiers count themselves (inside runCopiers, before each
+	// call) so the counter is never behind the fail-lock drain.
+	s.runCopiers(locked, core.NoTxn, true)
+	s.reg.Observe(TimerBatchRefresh, time.Since(start))
+}
+
+// checkBatchTrigger re-evaluates the two-step threshold; called after
+// commits that may have dropped the fail-locked fraction.
+func (s *Site) checkBatchTrigger() {
+	s.mu.Lock()
+	armed := s.batchArmed
+	s.mu.Unlock()
+	if armed {
+		s.maybeBatchRefresh()
+	}
+}
+
+// maybeReplicate runs the paper's proposed type-3 control transaction from
+// a spawned goroutine.
+func (s *Site) maybeReplicate() {
+	defer s.wg.Done()
+	s.maybeReplicate0()
+}
+
+// maybeReplicate0 scans for items whose only up-to-date copy among
+// operational sites is this site's, and pushes a backup copy of each to
+// another operational site (§3.2: "a site having the last up-to-date copy
+// of a data item would create a copy on a back-up site"). In the fully
+// replicated database the "back-up site" is an operational site whose own
+// copy is fail-locked; installing the fresh copy clears that fail-lock,
+// and the special clear transaction propagates the news.
+func (s *Site) maybeReplicate0() {
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	ups := s.vec.Operational()
+	if len(ups) < 2 {
+		s.mu.Unlock()
+		return // nobody to back up onto
+	}
+	// endangered: items where this site is the sole up-to-date holder.
+	var endangered []core.ItemVersion
+	var backup core.SiteID
+	haveBackup := false
+	for i := 0; i < s.cfg.Items; i++ {
+		item := core.ItemID(i)
+		if s.flocks.IsSet(item, s.cfg.ID) {
+			continue // our own copy is stale
+		}
+		fresh := 0
+		var staleUp core.SiteID
+		staleUpFound := false
+		for _, id := range ups {
+			if !s.flocks.IsSet(item, id) {
+				fresh++
+			} else if id != s.cfg.ID {
+				staleUp, staleUpFound = id, true
+			}
+		}
+		if fresh == 1 && staleUpFound {
+			iv, err := s.store.Get(item)
+			if err != nil {
+				continue
+			}
+			endangered = append(endangered, iv)
+			if !haveBackup {
+				backup, haveBackup = staleUp, true
+			}
+		}
+	}
+	s.mu.Unlock()
+	if len(endangered) == 0 || !haveBackup {
+		return
+	}
+
+	start := time.Now()
+	reply, err := s.caller.Call(backup, &msg.CtrlReplicate{Items: endangered})
+	if err != nil || !reply.Body.(*msg.CtrlReplicateAck).OK {
+		return
+	}
+	s.mu.Lock()
+	s.stats.ControlType3++
+	items := make([]core.ItemID, 0, len(endangered))
+	for _, iv := range endangered {
+		if s.flocks.IsSet(iv.Item, backup) {
+			s.flocks.Clear(iv.Item, backup)
+			s.stats.FailLocksCleared++
+		}
+		items = append(items, iv.Item)
+	}
+	targets := s.vec.Operational(s.cfg.ID, backup)
+	s.mu.Unlock()
+	// Propagate the backup site's refreshed status.
+	for _, target := range targets {
+		s.caller.Call(target, &msg.ClearFailLocks{Site: backup, Items: items})
+	}
+	s.reg.Observe(TimerCtrl3, time.Since(start))
+}

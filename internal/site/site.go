@@ -1,0 +1,486 @@
+// Package site implements a mini-RAID database site: one event loop owning
+// a copy of the replicated database, a nominal session vector and a
+// fail-lock table, acting as two-phase-commit coordinator or participant,
+// running copier and control transactions, and simulating failure and
+// recovery on command from the managing site.
+//
+// Concurrency model. The paper's sites were single Unix processes handling
+// messages serially. Here each site runs:
+//
+//   - one receive loop (run) that dispatches inbound messages; participant
+//     and control handlers execute inline, in arrival order, which gives
+//     the paper's serial, in-order message processing;
+//   - one transaction executor at a time (txnGate), so database
+//     transactions, recovery and batch refresh are serialized exactly as
+//     in the paper ("transactions were processed serially", §1.2,
+//     assumption 2);
+//   - coordinator work in its own goroutine so the receive loop stays free
+//     to route acks and serve other sites' requests while this site waits
+//     for replies.
+//
+// All mutable state (vector, fail-locks, staged writes, stats) is guarded
+// by mu; the store is internally synchronized.
+package site
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/lockmgr"
+	"minraid/internal/metrics"
+	"minraid/internal/msg"
+	"minraid/internal/policy"
+	"minraid/internal/storage"
+	"minraid/internal/transport"
+)
+
+// Timer and counter names recorded in the metrics registry. The experiment
+// harness reads them to regenerate the paper's tables.
+const (
+	// TimerCoordTxn is the coordinator-side database transaction time
+	// (§2.2.1), for transactions that ran no copier.
+	TimerCoordTxn = "txn.coord"
+	// TimerCoordTxnCopier is the same measure for transactions that ran
+	// at least one copier transaction (§2.2.3: 270 ms vs 186 ms).
+	TimerCoordTxnCopier = "txn.coord.copier"
+	// TimerPartTxn is the participant-side transaction time (§2.2.1).
+	TimerPartTxn = "txn.part"
+	// TimerCtrl1Recovering is the type-1 control transaction time at the
+	// recovering site (§2.2.2: 190 ms).
+	TimerCtrl1Recovering = "ctrl1.recovering"
+	// TimerCtrl1Operational is the type-1 time at an operational site
+	// (§2.2.2: 50 ms).
+	TimerCtrl1Operational = "ctrl1.operational"
+	// TimerCtrl2 is the type-2 control transaction time per announced-to
+	// site (§2.2.2: 68 ms).
+	TimerCtrl2 = "ctrl2"
+	// TimerCopyServe is the donor-side copy-request service time
+	// (§2.2.3: 25 ms).
+	TimerCopyServe = "copy.serve"
+	// TimerClearFailLocks is the coordinator-side cost of the special
+	// fail-lock-clearing transaction, per contacted site (§2.2.3: 20 ms).
+	TimerClearFailLocks = "clear.flock"
+	// TimerCtrl3 is the type-3 (backup copy) control transaction time.
+	TimerCtrl3 = "ctrl3"
+	// TimerBatchRefresh is the duration of a batch copier refresh pass
+	// (the paper's proposed step two of recovery).
+	TimerBatchRefresh = "recovery.batch"
+
+	// CounterAborts counts coordinator-side aborts.
+	CounterAborts = "aborts"
+	// CounterCommits counts coordinator-side commits.
+	CounterCommits = "commits"
+	// CounterCopiers counts copier transactions issued.
+	CounterCopiers = "copiers"
+	// CounterBatchCopiers counts copier transactions issued by batch
+	// refresh (step two of two-step recovery).
+	CounterBatchCopiers = "copiers.batch"
+)
+
+// Config parameterizes a site.
+type Config struct {
+	// ID is this site's identity (0..Sites-1).
+	ID core.SiteID
+	// Sites is the number of database sites in the system.
+	Sites int
+	// Items is the database size ("the number of data items", §1.2).
+	Items int
+	// Policy selects the replication protocol; nil means ROWAA.
+	Policy policy.Policy
+	// Store holds the local database copy; nil means an in-memory store
+	// (the paper's configuration).
+	Store storage.Store
+	// AckTimeout bounds every wait for a remote reply; expiry is treated
+	// as failure of the callee. Default 250ms.
+	AckTimeout time.Duration
+	// DisableFailLockMaintenance removes the fail-lock maintenance code
+	// path, reproducing the "without fail-locks code" row of the paper's
+	// first experiment. Only safe when no site ever fails.
+	DisableFailLockMaintenance bool
+	// BatchCopierThreshold enables the paper's proposed two-step
+	// recovery: once the fraction of items fail-locked for this site
+	// drops to or below the threshold, the site refreshes the remainder
+	// in batch via copier transactions (§3.2). Zero disables batching.
+	BatchCopierThreshold float64
+	// EnableType3 enables the paper's proposed type-3 control
+	// transaction: when this site holds the last up-to-date copy of an
+	// item among operational sites, it pushes a backup copy to another
+	// operational site (§3.2).
+	EnableType3 bool
+	// Metrics receives timing observations; nil allocates a private
+	// registry.
+	Metrics *metrics.Registry
+	// Replicas assigns items to hosting sites. Nil means full
+	// replication, the paper's assumption 4. Partial replication is
+	// supported for the ROWAA policy only: a coordinator that hosts no
+	// copy of a read item fetches a fresh copy from a hosting site, and
+	// writes go to the hosting sites (plus maintenance-only notices to
+	// the other operational sites, keeping fail-lock tables fully
+	// replicated).
+	Replicas *core.ReplicaMap
+	// ConcurrentTxns enables the full-RAID future-work mode the paper
+	// deferred ("we plan to run this protocol ... taking into account
+	// other factors such as concurrency control", §5): up to this many
+	// transactions execute interleaved at this site, serialized by
+	// distributed strict two-phase locking — shared locks on the read
+	// set at the coordinator, exclusive locks on every copy of the write
+	// set (acquired at prepare), all held until commit or abort. Values
+	// of 0 or 1 keep the paper's serial processing (assumption 2).
+	// Requires ROWAA and full replication. Distributed deadlocks resolve
+	// by lock-acquisition timeout (transactions abort retriably).
+	//
+	// Recovery (the type-1 control transaction) should be initiated
+	// during a write-quiescent period: session-vector checks abort
+	// transactions that straddle a recovery at prepare and at the commit
+	// decision, but a recovery announcement still in flight cannot veto
+	// a commit already decided, so overlapping writes can leave a
+	// freshly installed fail-lock snapshot behind by one transaction.
+	// Site failures need no such care — fail-locks exist precisely to
+	// absorb them.
+	ConcurrentTxns int
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Sites <= 0 || c.Sites > core.MaxSites {
+		return fmt.Errorf("site: %d sites out of range", c.Sites)
+	}
+	if int(c.ID) >= c.Sites {
+		return fmt.Errorf("site: id %d out of range for %d sites", c.ID, c.Sites)
+	}
+	if c.Items <= 0 {
+		return fmt.Errorf("site: %d items out of range", c.Items)
+	}
+	if c.Policy == nil {
+		c.Policy = policy.ROWAA{}
+	}
+	if c.Store == nil {
+		c.Store = storage.NewMemStore(c.Items, nil)
+	}
+	if c.Store.Items() != c.Items {
+		return fmt.Errorf("site: store holds %d items, config says %d", c.Store.Items(), c.Items)
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 250 * time.Millisecond
+	}
+	if c.BatchCopierThreshold < 0 || c.BatchCopierThreshold > 1 {
+		return fmt.Errorf("site: batch copier threshold %v out of [0,1]", c.BatchCopierThreshold)
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Replicas == nil {
+		c.Replicas = core.FullReplication(c.Items, c.Sites)
+	}
+	if c.Replicas.Items() != c.Items || c.Replicas.Sites() != c.Sites {
+		return fmt.Errorf("site: replica map is %dx%d, config is %dx%d",
+			c.Replicas.Items(), c.Replicas.Sites(), c.Items, c.Sites)
+	}
+	if !c.Replicas.IsFull() && c.Policy.Name() != "rowaa" {
+		return fmt.Errorf("site: partial replication requires the rowaa policy, not %s", c.Policy.Name())
+	}
+	if !c.Replicas.IsFull() && c.EnableType3 {
+		return fmt.Errorf("site: type-3 control transactions require full replication (dynamic replica maps are out of scope)")
+	}
+	if c.ConcurrentTxns > 1 {
+		if c.Policy.Name() != "rowaa" {
+			return fmt.Errorf("site: concurrent mode requires the rowaa policy, not %s", c.Policy.Name())
+		}
+		if !c.Replicas.IsFull() {
+			return fmt.Errorf("site: concurrent mode requires full replication")
+		}
+	}
+	return nil
+}
+
+// stagedTxn is a participant's buffered phase-one state.
+type stagedTxn struct {
+	writes    []core.ItemVersion
+	maintOnly []core.ItemID // fail-lock maintenance without data (partial replication)
+	// vector is the coordinator's nominal session vector from the
+	// prepare. Commit-time fail-lock maintenance uses it — not the
+	// participant's own vector — because the coordinator's view is what
+	// decided which sites received this write, i.e. which sites actually
+	// missed it. Under serial processing the two vectors coincide; under
+	// the concurrent extension they can briefly differ during failure
+	// detection, and using the coordinator's keeps every table
+	// identical.
+	vector []core.SiteInfo
+	start  time.Time        // start of participation, for TimerPartTxn
+	coord  core.SiteID      // the coordinator, for Appendix A.2's failure arm
+	timer  *time.Timer      // fires if no phase-two decision arrives
+	lm     *lockmgr.Manager // holds this txn's X locks (concurrent mode)
+}
+
+// stop cancels the decision timer, if armed.
+func (st *stagedTxn) stop() {
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+}
+
+// finish stops the timer and releases any participant-side locks.
+func (st *stagedTxn) finish(id core.TxnID) {
+	st.stop()
+	if st.lm != nil {
+		st.lm.Release(id)
+	}
+}
+
+// Site is one mini-RAID database site.
+type Site struct {
+	cfg      Config
+	pol      policy.Policy
+	ep       transport.Endpoint
+	caller   *transport.Caller
+	reg      *metrics.Registry
+	replicas *core.ReplicaMap
+
+	mu      sync.Mutex
+	state   core.Status
+	session core.SessionNum
+	vec     core.SessionVector
+	flocks  *core.FailLockTable
+	staged  map[core.TxnID]*stagedTxn
+	stats   msg.SiteStats
+	// batchArmed is true while two-step recovery is waiting for the
+	// fail-locked fraction to cross the threshold.
+	batchArmed bool
+
+	store storage.Store
+
+	// txnGate bounds in-flight transaction execution: capacity 1 in the
+	// paper's serial mode, ConcurrentTxns in concurrent mode. Recovery
+	// and batch refresh also take a slot.
+	txnGate chan struct{}
+	// locks is the strict-2PL manager; non-nil only in concurrent mode.
+	// Replaced wholesale on simulated failure (process lock state dies
+	// with the process).
+	locks *lockmgr.Manager
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// New creates a site attached to net. Call Start to begin processing.
+func New(cfg Config, net transport.Network) (*Site, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ep, err := net.Endpoint(cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+	gate := 1
+	if cfg.ConcurrentTxns > 1 {
+		gate = cfg.ConcurrentTxns
+	}
+	s := &Site{
+		cfg:      cfg,
+		pol:      cfg.Policy,
+		ep:       ep,
+		caller:   transport.NewCaller(ep, cfg.AckTimeout),
+		reg:      cfg.Metrics,
+		replicas: cfg.Replicas,
+		state:    core.StatusUp,
+		session:  1,
+		vec:      core.NewSessionVector(cfg.Sites),
+		flocks:   core.NewFailLockTable(cfg.Items, cfg.Sites),
+		staged:   make(map[core.TxnID]*stagedTxn),
+		store:    cfg.Store,
+		locks:    newLockManager(cfg),
+		txnGate:  make(chan struct{}, gate),
+	}
+	return s, nil
+}
+
+// newLockManager builds the 2PL manager for concurrent mode; serial mode
+// (the paper's) needs none. The acquisition timeout doubles as the
+// distributed-deadlock breaker. It must stay well under the ack timeout:
+// a participant blocked on locks longer than the coordinator's patience
+// would be mistaken for a failed site, and a lock wait must surface as a
+// retriable NACK, never as a spurious type-2 announcement.
+func newLockManager(cfg Config) *lockmgr.Manager {
+	if cfg.ConcurrentTxns <= 1 {
+		return nil
+	}
+	return lockmgr.New(cfg.AckTimeout / 2)
+}
+
+// concurrent reports whether the site runs the interleaved-execution
+// extension.
+func (s *Site) concurrent() bool { return s.cfg.ConcurrentTxns > 1 }
+
+// lockManager returns the current 2PL manager instance. Simulated failure
+// replaces it (a real crash would lose lock state), so callers capture the
+// instance once per transaction.
+func (s *Site) lockManager() *lockmgr.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.locks
+}
+
+// ID returns the site's identity.
+func (s *Site) ID() core.SiteID { return s.cfg.ID }
+
+// Metrics returns the site's metrics registry.
+func (s *Site) Metrics() *metrics.Registry { return s.reg }
+
+// Policy returns the replication policy the site runs.
+func (s *Site) Policy() policy.Policy { return s.pol }
+
+// Start launches the receive loop.
+func (s *Site) Start() {
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Stop terminates the site: the receive loop exits and in-flight calls are
+// cancelled. Stop blocks until the loop has finished.
+func (s *Site) Stop() {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.state = core.StatusTerminating
+		s.mu.Unlock()
+		s.caller.CancelAll()
+		s.ep.Close()
+	})
+	s.wg.Wait()
+}
+
+// run is the receive loop: replies go to the caller's pending table,
+// requests to handle. A site simulating failure drops everything except
+// managing-site control traffic, exactly as the paper prescribes ("the
+// site should not participate in any further system actions", §1.2).
+func (s *Site) run() {
+	defer s.wg.Done()
+	for {
+		env, ok := s.ep.Recv()
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		s.stats.MsgsIn++
+		state := s.state
+		s.mu.Unlock()
+
+		if state == core.StatusTerminating {
+			return
+		}
+		if state == core.StatusDown && !adminAllowed(env) {
+			continue // failed sites are deaf
+		}
+		if env.Body.Kind().IsReply() {
+			s.caller.Deliver(env)
+			continue
+		}
+		s.handle(env)
+	}
+}
+
+// adminAllowed reports whether a message may reach a site that is
+// simulating failure: only the managing site's recover/shutdown orders and
+// its out-of-band status probes.
+func adminAllowed(env *msg.Envelope) bool {
+	if env.From != core.ManagingSite {
+		return false
+	}
+	switch env.Body.Kind() {
+	case msg.KindRecoverSim, msg.KindShutdown, msg.KindStatusReq:
+		return true
+	}
+	return false
+}
+
+// State returns the site's current lifecycle state.
+func (s *Site) State() core.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Session returns the site's current session number.
+func (s *Site) Session() core.SessionNum {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.session
+}
+
+// Vector returns a copy of the site's nominal session vector.
+func (s *Site) Vector() core.SessionVector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vec.Clone()
+}
+
+// FailLockCount returns the number of items fail-locked for the given
+// site, in this site's table — the per-transaction measurement behind the
+// paper's figures.
+func (s *Site) FailLockCount(id core.SiteID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flocks.CountForSite(id)
+}
+
+// Stats returns a snapshot of the site's counters.
+func (s *Site) Stats() msg.SiteStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MsgsOut = s.caller.Sent()
+	return st
+}
+
+// Wait blocks until the site's receive loop and handlers have finished —
+// after Stop, or after a Shutdown message arrived. cmd/raidsrv uses it to
+// keep the process alive until the managing site orders termination.
+func (s *Site) Wait() { s.wg.Wait() }
+
+// InjectFailLock sets a fail-lock bit directly, bypassing the protocol — a
+// bench/test hook for constructing copier scenarios without paying a real
+// failure-detection cycle per iteration.
+func (s *Site) InjectFailLock(item core.ItemID, target core.SiteID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flocks.Set(item, target)
+}
+
+// InjectCorruption overwrites the local copy of item behind the protocol's
+// back — no fail-lock, no propagation. It exists for audit tests and
+// fault-injection experiments: the consistency audit must flag the
+// resulting untracked divergence.
+func (s *Site) InjectCorruption(item core.ItemID, value []byte) (core.ItemVersion, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := s.store.Get(item)
+	if err != nil {
+		return core.ItemVersion{}, err
+	}
+	iv := core.ItemVersion{Item: item, Version: cur.Version + 1, Value: value}
+	if _, err := s.store.Apply(iv); err != nil {
+		return core.ItemVersion{}, err
+	}
+	return iv, nil
+}
+
+// statusRespLocked builds a StatusResp; callers hold mu.
+func (s *Site) statusRespLocked(includeFailLocks bool) *msg.StatusResp {
+	counts := make([]uint32, s.cfg.Sites)
+	for i := 0; i < s.cfg.Sites; i++ {
+		counts[i] = uint32(s.flocks.CountForSite(core.SiteID(i)))
+	}
+	resp := &msg.StatusResp{
+		Site:           s.cfg.ID,
+		State:          s.state,
+		Session:        s.session,
+		Vector:         s.vec.Records(),
+		FailLockCounts: counts,
+		Stats:          s.stats,
+	}
+	resp.Stats.MsgsOut = s.caller.Sent()
+	if includeFailLocks {
+		resp.FailLocks = s.flocks.Snapshot()
+	}
+	return resp
+}

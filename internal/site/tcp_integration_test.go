@@ -1,0 +1,160 @@
+package site
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+	"minraid/internal/transport"
+)
+
+// tcpHarness runs n sites, each with its own TCP network on loopback, plus
+// a TCP managing endpoint — the full multi-process protocol path minus the
+// process boundary.
+type tcpHarness struct {
+	sites  []*Site
+	nets   []*transport.TCP
+	mgrNet *transport.TCP
+	caller *transport.Caller
+}
+
+func newTCPHarness(t *testing.T, n, items int) *tcpHarness {
+	t.Helper()
+	h := &tcpHarness{}
+	addrs := make(map[core.SiteID]string)
+	for i := 0; i < n; i++ {
+		id := core.SiteID(i)
+		net, err := transport.NewTCP(transport.TCPConfig{
+			Self:          id,
+			Addrs:         map[core.SiteID]string{id: "127.0.0.1:0"},
+			RetryInterval: 20 * time.Millisecond,
+			MaxRetries:    3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.nets = append(h.nets, net)
+		addrs[id] = net.Addr()
+	}
+	mgrNet, err := transport.NewTCP(transport.TCPConfig{
+		Self:  core.ManagingSite,
+		Addrs: map[core.SiteID]string{core.ManagingSite: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mgrNet = mgrNet
+	addrs[core.ManagingSite] = mgrNet.Addr()
+
+	for i := 0; i < n; i++ {
+		for id, a := range addrs {
+			h.nets[i].SetAddr(id, a)
+		}
+	}
+	for id, a := range addrs {
+		mgrNet.SetAddr(id, a)
+	}
+
+	for i := 0; i < n; i++ {
+		s, err := New(Config{
+			ID: core.SiteID(i), Sites: n, Items: items,
+			AckTimeout: 200 * time.Millisecond,
+		}, h.nets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		h.sites = append(h.sites, s)
+	}
+
+	ep, err := mgrNet.Endpoint(core.ManagingSite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.caller = transport.NewCaller(ep, 10*time.Second)
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			h.caller.Deliver(env)
+		}
+	}()
+	t.Cleanup(func() {
+		for _, s := range h.sites {
+			s.Stop()
+		}
+		for _, net := range h.nets {
+			net.Close()
+		}
+		mgrNet.Close()
+	})
+	return h
+}
+
+func TestFullProtocolOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration is slower than the memory transport")
+	}
+	h := newTCPHarness(t, 3, 10)
+	exec := func(coord core.SiteID, id core.TxnID, ops []core.Op) *msg.TxnResult {
+		t.Helper()
+		reply, err := h.caller.Call(coord, &msg.ClientTxn{Txn: id, Ops: ops})
+		if err != nil {
+			t.Fatalf("txn %d: %v", id, err)
+		}
+		return reply.Body.(*msg.TxnResult)
+	}
+
+	// Replicated write + remote read over real sockets.
+	if res := exec(0, 1, []core.Op{core.Write(4, []byte("sockets"))}); !res.Committed {
+		t.Fatalf("write aborted: %s", res.AbortReason)
+	}
+	res := exec(2, 2, []core.Op{core.Read(4)})
+	if !res.Committed || !bytes.Equal(res.Reads[0].Value, []byte("sockets")) {
+		t.Fatalf("read = %+v", res)
+	}
+
+	// Failure, detection, isolated progress.
+	if _, err := h.caller.Call(1, &msg.FailSim{}); err != nil {
+		t.Fatal(err)
+	}
+	if res := exec(0, 3, []core.Op{core.Write(5, []byte("detect"))}); res.Committed {
+		t.Fatal("detection txn committed")
+	}
+	if res := exec(0, 4, []core.Op{core.Write(5, []byte("down-write"))}); !res.Committed {
+		t.Fatalf("post-detection write aborted: %s", res.AbortReason)
+	}
+
+	// Recovery over TCP: session bump, fail-lock install, copier heal.
+	reply, err := h.caller.Call(1, &msg.RecoverSim{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := reply.Body.(*msg.StatusResp)
+	if st.State != core.StatusUp || st.Session != 2 {
+		t.Fatalf("recovery status: %+v", st)
+	}
+	res = exec(1, 5, []core.Op{core.Read(5)})
+	if !res.Committed || !bytes.Equal(res.Reads[0].Value, []byte("down-write")) {
+		t.Fatalf("healed read = %+v", res)
+	}
+	if res.Copiers != 1 {
+		t.Errorf("copiers = %d", res.Copiers)
+	}
+
+	// Every site converged.
+	for i := 0; i < 3; i++ {
+		reply, err := h.caller.Call(core.SiteID(i), &msg.DumpReq{First: 5, Last: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv := reply.Body.(*msg.DumpResp).Items[0]
+		if !bytes.Equal(iv.Value, []byte("down-write")) {
+			t.Errorf("site %d copy = %q", i, iv.Value)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"testing"
+
+	"minraid/internal/core"
+)
+
+func BenchmarkMemStoreApply(b *testing.B) {
+	s := NewMemStore(1000, nil)
+	val := []byte("payload-12345678")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Apply(core.ItemVersion{
+			Item: core.ItemID(i % 1000), Version: core.TxnID(i + 1), Value: val,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemStoreGet(b *testing.B) {
+	s := NewMemStore(1000, []byte("payload-12345678"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(core.ItemID(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALApply(b *testing.B) {
+	s, err := OpenWAL(WALOptions{Dir: b.TempDir(), Items: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := []byte("payload-12345678")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Apply(core.ItemVersion{
+			Item: core.ItemID(i % 1000), Version: core.TxnID(i + 1), Value: val,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALApplySync(b *testing.B) {
+	s, err := OpenWAL(WALOptions{Dir: b.TempDir(), Items: 100, Sync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := []byte("payload-12345678")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Apply(core.ItemVersion{
+			Item: core.ItemID(i % 100), Version: core.TxnID(i + 1), Value: val,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	s, err := OpenWAL(WALOptions{Dir: dir, Items: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		s.Apply(core.ItemVersion{Item: core.ItemID(i % 200), Version: core.TxnID(i + 1), Value: []byte("v")})
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := OpenWAL(WALOptions{Dir: dir, Items: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		re.Close()
+	}
+}

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+)
+
+func BenchmarkMemoryRoundTrip(b *testing.B) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	a, _ := net.Endpoint(0)
+	dst, _ := net.Endpoint(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(&msg.Envelope{To: 1, Seq: uint64(i + 1), Body: &msg.Commit{Txn: 1}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := dst.Recv(); !ok {
+			b.Fatal("recv failed")
+		}
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	t0, err := NewTCP(TCPConfig{Self: 0, Addrs: map[core.SiteID]string{0: "127.0.0.1:0"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := NewTCP(TCPConfig{Self: 1, Addrs: map[core.SiteID]string{1: "127.0.0.1:0"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t1.Close()
+	t0.SetAddr(1, t1.Addr())
+	t1.SetAddr(0, t0.Addr())
+	a, _ := t0.Endpoint(0)
+	dst, _ := t1.Endpoint(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(&msg.Envelope{To: 1, Seq: uint64(i + 1), Body: &msg.Commit{Txn: 1}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := dst.Recv(); !ok {
+			b.Fatal("recv failed")
+		}
+	}
+}
+
+func BenchmarkCallerCall(b *testing.B) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	// Echo responder on site 1.
+	ep1, _ := net.Endpoint(1)
+	c1 := NewCaller(ep1, time.Second)
+	go func() {
+		for {
+			env, ok := ep1.Recv()
+			if !ok {
+				return
+			}
+			if cm, isCommit := env.Body.(*msg.Commit); isCommit {
+				c1.Reply(env, &msg.CommitAck{Txn: cm.Txn})
+			}
+		}
+	}()
+	ep0, _ := net.Endpoint(0)
+	c0 := NewCaller(ep0, time.Second)
+	go func() {
+		for {
+			env, ok := ep0.Recv()
+			if !ok {
+				return
+			}
+			c0.Deliver(env)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c0.Call(1, &msg.Commit{Txn: core.TxnID(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+)
+
+// Caller errors.
+var (
+	// ErrTimeout is returned when no reply arrives within the ack
+	// timeout. The protocol treats it as evidence the callee failed.
+	ErrTimeout = errors.New("transport: call timed out")
+	// ErrCancelled is returned to callers when CancelAll runs — the local
+	// site failed (or shut down) with the call in flight.
+	ErrCancelled = errors.New("transport: call cancelled")
+)
+
+// Caller layers request/response correlation over an Endpoint: it assigns
+// sequence numbers, matches replies to pending calls, and enforces the ack
+// timeout that the replicated-copy-control protocol uses to detect site
+// failures.
+//
+// The owner's receive loop must offer every inbound reply to Deliver; other
+// messages are handled by the owner directly.
+type Caller struct {
+	ep      Endpoint
+	timeout time.Duration
+	seq     atomic.Uint64
+	sent    atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan *msg.Envelope
+}
+
+// NewCaller wraps ep with the given call timeout.
+//
+// Sequence numbers are seeded from the wall clock: the TCP transport
+// suppresses reconnect duplicates by requiring strictly increasing
+// sequence numbers per sender, and a restarted process (a new raidctl
+// invocation, a rebooted raidsrv) must not reuse the numbers its
+// predecessor burned.
+func NewCaller(ep Endpoint, timeout time.Duration) *Caller {
+	c := &Caller{ep: ep, timeout: timeout, pending: make(map[uint64]chan *msg.Envelope)}
+	c.seq.Store(uint64(time.Now().UnixNano()))
+	return c
+}
+
+// Sent returns the number of messages sent through this caller.
+func (c *Caller) Sent() uint64 { return c.sent.Load() }
+
+// Timeout returns the configured call timeout.
+func (c *Caller) Timeout() time.Duration { return c.timeout }
+
+// Send transmits a fire-and-forget message.
+func (c *Caller) Send(to core.SiteID, body msg.Body) error {
+	c.sent.Add(1)
+	return c.ep.Send(&msg.Envelope{To: to, Seq: c.seq.Add(1), Body: body})
+}
+
+// Reply transmits a response correlated to req.
+func (c *Caller) Reply(req *msg.Envelope, body msg.Body) error {
+	c.sent.Add(1)
+	return c.ep.Send(&msg.Envelope{To: req.From, Seq: c.seq.Add(1), ReplyTo: req.Seq, Body: body})
+}
+
+// Call sends body to to and waits for the correlated reply.
+func (c *Caller) Call(to core.SiteID, body msg.Body) (*msg.Envelope, error) {
+	seq, ch := c.register()
+	defer c.unregister(seq)
+	c.sent.Add(1)
+	if err := c.ep.Send(&msg.Envelope{To: to, Seq: seq, Body: body}); err != nil {
+		return nil, err
+	}
+	return c.await(ch, time.NewTimer(c.timeout))
+}
+
+// Multicall sends mk(target) to every target concurrently and collects
+// replies under one shared deadline. The result maps each target to its
+// reply; a missing entry means that target did not answer in time (or the
+// call was cancelled).
+func (c *Caller) Multicall(targets []core.SiteID, mk func(core.SiteID) msg.Body) map[core.SiteID]*msg.Envelope {
+	type slot struct {
+		id  core.SiteID
+		seq uint64
+		ch  chan *msg.Envelope
+	}
+	slots := make([]slot, 0, len(targets))
+	for _, id := range targets {
+		seq, ch := c.register()
+		slots = append(slots, slot{id: id, seq: seq, ch: ch})
+		c.sent.Add(1)
+		// A send error (unknown site) just leaves the slot unanswered.
+		_ = c.ep.Send(&msg.Envelope{To: id, Seq: seq, Body: mk(id)})
+	}
+	out := make(map[core.SiteID]*msg.Envelope, len(targets))
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	for _, sl := range slots {
+		env, err := c.await(sl.ch, timer)
+		c.unregister(sl.seq)
+		if err == nil {
+			out[sl.id] = env
+		}
+	}
+	return out
+}
+
+// await waits for one reply on ch or for the (shared) timer to fire.
+// The timer is not reset between calls, implementing a single deadline
+// across a Multicall.
+func (c *Caller) await(ch chan *msg.Envelope, timer *time.Timer) (*msg.Envelope, error) {
+	select {
+	case env, ok := <-ch:
+		if !ok || env == nil {
+			return nil, ErrCancelled
+		}
+		return env, nil
+	case <-timer.C:
+		// Keep the timer expired for subsequent awaits on the same timer.
+		timer.Reset(0)
+		return nil, ErrTimeout
+	}
+}
+
+// Deliver routes an inbound reply to its pending call. It returns true if
+// the envelope was consumed; a false return means no call is waiting (late
+// reply after timeout) and the owner may drop it.
+func (c *Caller) Deliver(env *msg.Envelope) bool {
+	if env.ReplyTo == 0 {
+		return false
+	}
+	c.mu.Lock()
+	ch, ok := c.pending[env.ReplyTo]
+	if ok {
+		delete(c.pending, env.ReplyTo)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ch <- env // buffered: never blocks
+	return true
+}
+
+// CancelAll fails every pending call with ErrCancelled. Used when the
+// local site simulates failure: in-flight coordination must stop silently.
+func (c *Caller) CancelAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+}
+
+func (c *Caller) register() (uint64, chan *msg.Envelope) {
+	seq := c.seq.Add(1)
+	ch := make(chan *msg.Envelope, 1)
+	c.mu.Lock()
+	c.pending[seq] = ch
+	c.mu.Unlock()
+	return seq, ch
+}
+
+func (c *Caller) unregister(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+)
+
+// echoSite runs a trivial responder: every Commit request is answered with
+// a CommitAck; StatusReq is ignored (to exercise timeouts).
+func echoSite(t *testing.T, net *Memory, id core.SiteID) {
+	t.Helper()
+	ep, err := net.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := NewCaller(ep, time.Second)
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			if c, isCommit := env.Body.(*msg.Commit); isCommit {
+				caller.Reply(env, &msg.CommitAck{Txn: c.Txn})
+			}
+		}
+	}()
+}
+
+func TestCallerCall(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	echoSite(t, net, 1)
+	ep, _ := net.Endpoint(0)
+	c := NewCaller(ep, time.Second)
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			c.Deliver(env)
+		}
+	}()
+	reply, err := c.Call(1, &msg.Commit{Txn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Body.(*msg.CommitAck).Txn != 5 {
+		t.Errorf("reply = %v", reply)
+	}
+	if c.Sent() != 1 {
+		t.Errorf("Sent = %d", c.Sent())
+	}
+}
+
+func TestCallerTimeout(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	// Site 1 exists but never answers StatusReq.
+	echoSite(t, net, 1)
+	ep, _ := net.Endpoint(0)
+	c := NewCaller(ep, 30*time.Millisecond)
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			c.Deliver(env)
+		}
+	}()
+	start := time.Now()
+	_, err := c.Call(1, &msg.StatusReq{})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("timeout took far too long")
+	}
+}
+
+func TestCallerMulticall(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 4})
+	defer net.Close()
+	echoSite(t, net, 1)
+	echoSite(t, net, 2)
+	// Site 3 has an endpoint but no responder: it will time out.
+	if _, err := net.Endpoint(3); err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := net.Endpoint(0)
+	c := NewCaller(ep, 50*time.Millisecond)
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			c.Deliver(env)
+		}
+	}()
+	replies := c.Multicall([]core.SiteID{1, 2, 3}, func(core.SiteID) msg.Body {
+		return &msg.Commit{Txn: 9}
+	})
+	if len(replies) != 2 || replies[1] == nil || replies[2] == nil {
+		t.Errorf("replies = %v", replies)
+	}
+	if _, ok := replies[3]; ok {
+		t.Error("dead site produced a reply")
+	}
+}
+
+func TestCallerCancelAll(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	if _, err := net.Endpoint(1); err != nil { // silent peer
+		t.Fatal(err)
+	}
+	ep, _ := net.Endpoint(0)
+	c := NewCaller(ep, 5*time.Second)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Call(1, &msg.StatusReq{})
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.CancelAll()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrCancelled) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not unblock call")
+	}
+}
+
+func TestCallerLateReplyDropped(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	ep, _ := net.Endpoint(0)
+	c := NewCaller(ep, time.Second)
+	// A reply correlated to nothing must not be consumed.
+	late := &msg.Envelope{From: 1, To: 0, Seq: 99, ReplyTo: 12345, Body: &msg.CommitAck{Txn: 1}}
+	if c.Deliver(late) {
+		t.Error("uncorrelated reply consumed")
+	}
+	// A request (ReplyTo 0) is never consumed by the caller.
+	req := &msg.Envelope{From: 1, To: 0, Seq: 100, Body: &msg.Commit{Txn: 1}}
+	if c.Deliver(req) {
+		t.Error("request consumed as reply")
+	}
+}
+
+func TestCallerReply(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	a, _ := net.Endpoint(0)
+	b, _ := net.Endpoint(1)
+	ca := NewCaller(a, time.Second)
+	req := &msg.Envelope{From: 1, To: 0, Seq: 77, Body: &msg.Commit{Txn: 2}}
+	if err := ca.Reply(req, &msg.CommitAck{Txn: 2}); err != nil {
+		t.Fatal(err)
+	}
+	env, ok := b.Recv()
+	if !ok || env.ReplyTo != 77 || env.To != 1 {
+		t.Errorf("reply env = %v", env)
+	}
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+)
+
+// MemoryConfig configures an in-process network.
+type MemoryConfig struct {
+	// Sites is the number of database sites (0..Sites-1). An endpoint for
+	// the managing site exists in addition.
+	Sites int
+	// Delay is the fixed per-message inter-site communication cost. The
+	// paper measured nine milliseconds per communication on its hardware
+	// (§2.1); zero measures pure protocol cost.
+	Delay time.Duration
+}
+
+// Memory is an in-process Network. Messages are serialized through the
+// wire codec on send and deserialized on delivery, so sites share no
+// mutable state — the same isolation real processes would have — and every
+// experiment exercises the real encoding path ("real transaction
+// processing on real sites with real message passing").
+//
+// Delivery is FIFO per (sender, receiver) link, satisfying the paper's
+// ordered-reliable-messaging assumption. Independent links proceed in
+// parallel, as Ethernet or the Unix IPC of the original system would.
+type Memory struct {
+	cfg MemoryConfig
+
+	mu        sync.Mutex
+	endpoints map[core.SiteID]*memEndpoint
+	links     map[linkKey]*memLink
+	down      map[linkKey]bool
+	credits   map[linkKey]int // remaining deliveries before the link drops
+	closed    bool
+
+	sent atomic.Uint64
+	wg   sync.WaitGroup
+}
+
+type linkKey struct{ from, to core.SiteID }
+
+type memLink struct {
+	q *queue[[]byte]
+}
+
+// NewMemory returns an in-process network for cfg.
+func NewMemory(cfg MemoryConfig) *Memory {
+	if cfg.Sites <= 0 || cfg.Sites > core.MaxSites {
+		panic(fmt.Sprintf("transport: site count %d out of range", cfg.Sites))
+	}
+	return &Memory{
+		cfg:       cfg,
+		endpoints: make(map[core.SiteID]*memEndpoint),
+		links:     make(map[linkKey]*memLink),
+		down:      make(map[linkKey]bool),
+		credits:   make(map[linkKey]int),
+	}
+}
+
+// Endpoint implements Network.
+func (m *Memory) Endpoint(id core.SiteID) (Endpoint, error) {
+	if !m.valid(id) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if ep, ok := m.endpoints[id]; ok {
+		return ep, nil
+	}
+	ep := &memEndpoint{id: id, net: m, inbox: newQueue[*msg.Envelope]()}
+	m.endpoints[id] = ep
+	return ep, nil
+}
+
+// Close implements Network.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for _, l := range m.links {
+		l.q.close()
+	}
+	eps := make([]*memEndpoint, 0, len(m.endpoints))
+	for _, ep := range m.endpoints {
+		eps = append(eps, ep)
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	for _, ep := range eps {
+		ep.inbox.close()
+	}
+	return nil
+}
+
+// MessagesSent returns the total number of messages accepted for delivery
+// since the network was created. Experiments use it to report message
+// complexity alongside elapsed time.
+func (m *Memory) MessagesSent() uint64 { return m.sent.Load() }
+
+// SetLinkDown makes the directed link from->to silently drop messages
+// (true) or deliver normally (false). Used by tests and partition studies;
+// the paper's experiments fail whole sites instead.
+func (m *Memory) SetLinkDown(from, to core.SiteID, isDown bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if isDown {
+		m.down[linkKey{from, to}] = true
+	} else {
+		delete(m.down, linkKey{from, to})
+	}
+}
+
+// SetLinkDropAfter lets the directed link from->to deliver n more messages
+// and then silently drop everything after — fault injection for mid-
+// protocol failures (e.g. a participant that acks phase one and vanishes
+// before phase two). A negative n removes the limit.
+func (m *Memory) SetLinkDropAfter(from, to core.SiteID, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 {
+		delete(m.credits, linkKey{from, to})
+		return
+	}
+	m.credits[linkKey{from, to}] = n
+}
+
+func (m *Memory) valid(id core.SiteID) bool {
+	return id == core.ManagingSite || int(id) < m.cfg.Sites
+}
+
+// send enqueues encoded bytes on the from->to link, creating the link and
+// its delivery goroutine on first use.
+func (m *Memory) send(from, to core.SiteID, buf []byte) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	key := linkKey{from, to}
+	if m.down[key] {
+		m.mu.Unlock()
+		return nil // partitioned: silently dropped
+	}
+	if credits, limited := m.credits[key]; limited {
+		if credits <= 0 {
+			m.mu.Unlock()
+			return nil // budget exhausted: silently dropped
+		}
+		m.credits[key] = credits - 1
+	}
+	l, ok := m.links[key]
+	if !ok {
+		l = &memLink{q: newQueue[[]byte]()}
+		m.links[key] = l
+		m.wg.Add(1)
+		go m.deliver(l, to)
+	}
+	m.mu.Unlock()
+	l.q.push(buf)
+	m.sent.Add(1)
+	return nil
+}
+
+// deliver pumps one link: pops encoded messages in FIFO order, applies the
+// per-hop delay, decodes and hands the envelope to the destination inbox.
+func (m *Memory) deliver(l *memLink, to core.SiteID) {
+	defer m.wg.Done()
+	for {
+		buf, ok := l.q.pop()
+		if !ok {
+			return
+		}
+		if m.cfg.Delay > 0 {
+			time.Sleep(m.cfg.Delay)
+		}
+		env, err := msg.Unmarshal(buf)
+		if err != nil {
+			// A memory link cannot corrupt data; an error here is a
+			// programming bug in the codec and must be loud.
+			panic(fmt.Sprintf("transport: undecodable message on memory link: %v", err))
+		}
+		m.mu.Lock()
+		ep := m.endpoints[to]
+		m.mu.Unlock()
+		if ep != nil {
+			ep.inbox.push(env)
+		}
+	}
+}
+
+type memEndpoint struct {
+	id    core.SiteID
+	net   *Memory
+	inbox *queue[*msg.Envelope]
+}
+
+// ID implements Endpoint.
+func (ep *memEndpoint) ID() core.SiteID { return ep.id }
+
+// Send implements Endpoint.
+func (ep *memEndpoint) Send(env *msg.Envelope) error {
+	if !ep.net.valid(env.To) {
+		return fmt.Errorf("%w: %s", ErrUnknownSite, env.To)
+	}
+	env.From = ep.id
+	return ep.net.send(ep.id, env.To, msg.Marshal(env))
+}
+
+// Recv implements Endpoint.
+func (ep *memEndpoint) Recv() (*msg.Envelope, bool) { return ep.inbox.pop() }
+
+// Close implements Endpoint.
+func (ep *memEndpoint) Close() error {
+	ep.inbox.close()
+	return nil
+}

@@ -1,0 +1,71 @@
+package transport
+
+import "sync"
+
+// queue is an unbounded FIFO of envelopes with blocking pop and close
+// semantics. Senders never block, which rules out the queue-full deadlocks
+// a bounded channel could introduce between sites that are simultaneously
+// sending to each other; memory is bounded in practice by the protocol's
+// request/response discipline.
+type queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+func newQueue[T any]() *queue[T] {
+	q := &queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends an item. Pushing to a closed queue drops the item and
+// reports false.
+func (q *queue[T]) push(item T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, item)
+	q.cond.Signal()
+	return true
+}
+
+// pop removes the oldest item, blocking while the queue is empty. It
+// returns ok=false once the queue is closed and drained.
+func (q *queue[T]) pop() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.items[0]
+	// Shift rather than reslice so the backing array does not pin
+	// delivered envelopes.
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = *new(T)
+	q.items = q.items[:len(q.items)-1]
+	return item, true
+}
+
+// close marks the queue closed; blocked pops drain remaining items and then
+// return ok=false.
+func (q *queue[T]) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// len returns the current queue depth.
+func (q *queue[T]) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

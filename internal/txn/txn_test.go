@@ -1,0 +1,119 @@
+package txn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"minraid/internal/core"
+)
+
+func TestValidate(t *testing.T) {
+	ok := Txn{ID: 1, Ops: []core.Op{core.Read(0), core.Write(4, []byte("x"))}}
+	if err := ok.Validate(5); err != nil {
+		t.Errorf("valid txn rejected: %v", err)
+	}
+	cases := map[string]Txn{
+		"zero id":     {ID: 0, Ops: []core.Op{core.Read(0)}},
+		"no ops":      {ID: 1},
+		"item range":  {ID: 1, Ops: []core.Op{core.Read(5)}},
+		"bad op kind": {ID: 1, Ops: []core.Op{{Kind: 9, Item: 0}}},
+	}
+	for name, tx := range cases {
+		if err := tx.Validate(5); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWriteVersionsLastWriteWins(t *testing.T) {
+	tx := Txn{ID: 7, Ops: []core.Op{
+		core.Write(1, []byte("first")),
+		core.Read(2),
+		core.Write(3, []byte("b")),
+		core.Write(1, []byte("second")),
+	}}
+	wv := tx.WriteVersions()
+	if len(wv) != 2 {
+		t.Fatalf("WriteVersions = %v", wv)
+	}
+	if wv[0].Item != 1 || !bytes.Equal(wv[0].Value, []byte("second")) {
+		t.Errorf("item 1: %v (last write must win)", wv[0])
+	}
+	if wv[1].Item != 3 || wv[1].Version != 7 {
+		t.Errorf("item 3: %v", wv[1])
+	}
+}
+
+func TestWriteVersionsReadOnly(t *testing.T) {
+	tx := Txn{ID: 1, Ops: []core.Op{core.Read(0), core.Read(1)}}
+	if got := tx.WriteVersions(); len(got) != 0 {
+		t.Errorf("read-only txn produced writes: %v", got)
+	}
+	if !tx.IsReadOnly() {
+		t.Error("IsReadOnly = false")
+	}
+	tx.Ops = append(tx.Ops, core.Write(0, nil))
+	if tx.IsReadOnly() {
+		t.Error("IsReadOnly = true with a write")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Txn: 3, Committed: true, Reads: make([]core.ItemVersion, 2)}
+	if !strings.Contains(r.String(), "committed") {
+		t.Errorf("String = %q", r.String())
+	}
+	r = Result{Txn: 4, AbortReason: AbortNoDonor}
+	if !strings.Contains(r.String(), AbortNoDonor) {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+// Property: WriteVersions emits exactly the distinct written items, each
+// versioned with the transaction ID, carrying the value of the final write.
+func TestWriteVersionsProperty(t *testing.T) {
+	prop := func(id uint16, items []uint8, writeFlags []bool) bool {
+		tx := Txn{ID: core.TxnID(id) + 1}
+		lastVal := map[core.ItemID][]byte{}
+		for i, raw := range items {
+			item := core.ItemID(raw % 16)
+			if i < len(writeFlags) && writeFlags[i] {
+				val := []byte{byte(i)}
+				tx.Ops = append(tx.Ops, core.Write(item, val))
+				lastVal[item] = val
+			} else {
+				tx.Ops = append(tx.Ops, core.Read(item))
+			}
+		}
+		wv := tx.WriteVersions()
+		if len(wv) != len(lastVal) {
+			return false
+		}
+		for _, iv := range wv {
+			if iv.Version != tx.ID {
+				return false
+			}
+			if !bytes.Equal(iv.Value, lastVal[iv.Item]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteSetReadSetHelpers(t *testing.T) {
+	ops := []core.Op{core.Read(2), core.Write(1, nil), core.Read(2), core.Write(1, nil), core.Write(3, nil)}
+	ws := core.WriteSet(ops)
+	if len(ws) != 2 || ws[0] != 1 || ws[1] != 3 {
+		t.Errorf("WriteSet = %v", ws)
+	}
+	rs := core.ReadSet(ops)
+	if len(rs) != 1 || rs[0] != 2 {
+		t.Errorf("ReadSet = %v", rs)
+	}
+}

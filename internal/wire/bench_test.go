@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkEncodeScalars(b *testing.B) {
+	e := NewEncoder(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Uvarint(uint64(i))
+		e.Uint64(uint64(i))
+		e.Varint(int64(-i))
+		e.Bool(i&1 == 0)
+	}
+}
+
+func BenchmarkDecodeScalars(b *testing.B) {
+	e := NewEncoder(64)
+	e.Uvarint(12345)
+	e.Uint64(67890)
+	e.Varint(-42)
+	e.Bool(true)
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		_ = d.Uvarint()
+		_ = d.Uint64()
+		_ = d.Varint()
+		_ = d.Bool()
+	}
+}
+
+func BenchmarkEncodeBytes(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xAB}, 256)
+	e := NewEncoder(512)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutBytes(payload)
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 512)
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame format, used by the TCP transport (the in-memory transport passes
+// decoded messages directly):
+//
+//	offset  size  field
+//	0       4     magic "MRD1"
+//	4       1     protocol version (currently 1)
+//	5       1     frame kind (opaque to this package)
+//	6       2     reserved, must be zero
+//	8       4     payload length, little endian
+//	12      4     CRC-32 (IEEE) of the payload
+//	16      n     payload
+//
+// A reader that observes a bad magic, version, length or checksum must
+// treat the connection as corrupt and drop it: framing cannot be resynced.
+const (
+	frameMagic   = "MRD1"
+	frameVersion = 1
+	headerSize   = 16
+)
+
+// MaxFrameSize bounds a single frame payload. Fail-lock snapshots for the
+// largest supported database fit comfortably.
+const MaxFrameSize = 32 << 20
+
+// Frame errors.
+var (
+	ErrBadMagic   = errors.New("wire: bad frame magic")
+	ErrBadVersion = errors.New("wire: unsupported frame version")
+	ErrChecksum   = errors.New("wire: frame checksum mismatch")
+	ErrFrameSize  = errors.New("wire: frame exceeds size limit")
+)
+
+// WriteFrame writes one frame with the given kind byte and payload to w.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, len(payload))
+	}
+	var hdr [headerSize]byte
+	copy(hdr[0:4], frameMagic)
+	hdr[4] = frameVersion
+	hdr[5] = kind
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r, returning its kind byte and payload.
+// It validates magic, version, size and checksum; any violation is a
+// permanent connection error.
+func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // io.EOF propagates cleanly for orderly close
+	}
+	if string(hdr[0:4]) != frameMagic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[4] != frameVersion {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return 0, nil, fmt.Errorf("%w: reserved bytes set", ErrBadMagic)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	want := binary.LittleEndian.Uint32(hdr[12:16])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return 0, nil, fmt.Errorf("%w: got %#x want %#x", ErrChecksum, got, want)
+	}
+	return hdr[5], payload, nil
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("replicated copy control")
+	if err := WriteFrame(&buf, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	kind, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != 7 || !bytes.Equal(got, payload) {
+		t.Errorf("kind=%d payload=%q", kind, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	kind, got, err := ReadFrame(&buf)
+	if err != nil || kind != 0 || len(got) != 0 {
+		t.Errorf("kind=%d payload=%v err=%v", kind, got, err)
+	}
+}
+
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, byte(i), []byte{byte(i), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		kind, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != byte(i) || payload[0] != byte(i) {
+			t.Errorf("frame %d: kind=%d payload=%v", i, kind, payload)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want EOF", err)
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, []byte("x"))
+	b := buf.Bytes()
+	b[0] = 'X'
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFrameBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, []byte("x"))
+	b := buf.Bytes()
+	b[4] = 99
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestFrameReservedBytes(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, []byte("x"))
+	b := buf.Bytes()
+	b[6] = 1
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want reserved-byte error", err)
+	}
+}
+
+func TestFrameChecksumMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, []byte("hello"))
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0xFF // corrupt payload
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestFrameTruncatedHeader(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader([]byte("MRD"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, []byte("hello"))
+	b := buf.Bytes()[:headerSize+2]
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestFrameTooLargeWrite(t *testing.T) {
+	err := WriteFrame(io.Discard, 1, make([]byte, MaxFrameSize+1))
+	if !errors.Is(err, ErrFrameSize) {
+		t.Errorf("err = %v, want ErrFrameSize", err)
+	}
+}
+
+func TestFrameTooLargeRead(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, []byte("x"))
+	b := buf.Bytes()
+	// Forge an enormous declared length.
+	b[8], b[9], b[10], b[11] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("err = %v, want ErrFrameSize", err)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("boom")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestFrameWriteErrors(t *testing.T) {
+	if err := WriteFrame(&failWriter{n: 0}, 1, []byte("x")); err == nil {
+		t.Error("header write error swallowed")
+	}
+	if err := WriteFrame(&failWriter{n: 1}, 1, []byte("x")); err == nil {
+		t.Error("payload write error swallowed")
+	}
+}

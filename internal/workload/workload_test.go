@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"minraid/internal/core"
+)
+
+func TestUniformShape(t *testing.T) {
+	g := NewUniform(50, 10, 1)
+	reads, writes := 0, 0
+	for id := core.TxnID(1); id <= 2000; id++ {
+		ops := g.Next(id)
+		if len(ops) < 1 || len(ops) > 10 {
+			t.Fatalf("txn size %d out of 1..10", len(ops))
+		}
+		for _, op := range ops {
+			if int(op.Item) >= 50 {
+				t.Fatalf("item %d out of range", op.Item)
+			}
+			switch op.Kind {
+			case core.OpRead:
+				reads++
+				if op.Value != nil {
+					t.Fatal("read carries a value")
+				}
+			case core.OpWrite:
+				writes++
+				if len(op.Value) == 0 {
+					t.Fatal("write carries no value")
+				}
+			}
+		}
+	}
+	frac := float64(reads) / float64(reads+writes)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("read fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, b := NewUniform(50, 5, 42), NewUniform(50, 5, 42)
+	for id := core.TxnID(1); id <= 100; id++ {
+		oa, ob := a.Next(id), b.Next(id)
+		if len(oa) != len(ob) {
+			t.Fatalf("txn %d sizes differ", id)
+		}
+		for i := range oa {
+			if oa[i].Kind != ob[i].Kind || oa[i].Item != ob[i].Item {
+				t.Fatalf("txn %d op %d differs", id, i)
+			}
+		}
+	}
+}
+
+func TestUniformReadFraction(t *testing.T) {
+	g := NewUniform(50, 10, 7)
+	g.ReadFraction = 0.9
+	reads, total := 0, 0
+	for id := core.TxnID(1); id <= 2000; id++ {
+		for _, op := range g.Next(id) {
+			total++
+			if op.Kind == core.OpRead {
+				reads++
+			}
+		}
+	}
+	frac := float64(reads) / float64(total)
+	if math.Abs(frac-0.9) > 0.03 {
+		t.Errorf("read fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestHotColdSkew(t *testing.T) {
+	g := NewHotCold(100, 10, 5, 3)
+	hot, total := 0, 0
+	for id := core.TxnID(1); id <= 3000; id++ {
+		for _, op := range g.Next(id) {
+			total++
+			if int(op.Item) < 10 {
+				hot++
+			}
+			if int(op.Item) >= 100 {
+				t.Fatalf("item %d out of range", op.Item)
+			}
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if math.Abs(frac-0.8) > 0.03 {
+		t.Errorf("hot fraction = %.3f, want ~0.8", frac)
+	}
+}
+
+func TestET1Shape(t *testing.T) {
+	g := NewET1(500, 9)
+	if g.Branches != 5 || g.Tellers != 50 {
+		t.Fatalf("partitions: %d branches, %d tellers", g.Branches, g.Tellers)
+	}
+	if g.Accounts() != 445 {
+		t.Fatalf("accounts = %d", g.Accounts())
+	}
+	for id := core.TxnID(1); id <= 500; id++ {
+		ops := g.Next(id)
+		if len(ops) != 6 {
+			t.Fatalf("ET1 txn has %d ops", len(ops))
+		}
+		// account read+write, teller read+write, branch read+write.
+		acc, tel, br := ops[0].Item, ops[2].Item, ops[4].Item
+		if int(br) >= g.Branches {
+			t.Fatalf("branch item %d", br)
+		}
+		if int(tel) < g.Branches || int(tel) >= g.Branches+g.Tellers {
+			t.Fatalf("teller item %d", tel)
+		}
+		if int(acc) < g.Branches+g.Tellers || int(acc) >= g.Items {
+			t.Fatalf("account item %d", acc)
+		}
+		for i := 0; i < 6; i += 2 {
+			if ops[i].Kind != core.OpRead || ops[i+1].Kind != core.OpWrite {
+				t.Fatal("ET1 op pattern broken")
+			}
+			if ops[i].Item != ops[i+1].Item {
+				t.Fatal("read/write pair targets different items")
+			}
+		}
+	}
+}
+
+func TestET1TinyDatabase(t *testing.T) {
+	g := NewET1(10, 1)
+	if g.Branches != 1 || g.Tellers != 1 || g.Accounts() != 8 {
+		t.Fatalf("tiny partitions: %+v accounts=%d", g, g.Accounts())
+	}
+	ops := g.Next(1)
+	for _, op := range ops {
+		if int(op.Item) >= 10 {
+			t.Fatalf("item %d out of range", op.Item)
+		}
+	}
+}
+
+func TestAmountCodec(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 999, -999, 1 << 40} {
+		if got := DecodeAmount(EncodeAmount(v)); got != v {
+			t.Errorf("amount %d round-tripped to %d", v, got)
+		}
+	}
+	if DecodeAmount(nil) != 0 || DecodeAmount([]byte{1, 2}) != 0 {
+		t.Error("short payload should decode as 0")
+	}
+}
+
+func TestWisconsinAlternation(t *testing.T) {
+	g := NewWisconsin(100, 5)
+	scan := g.Next(1) // odd: scan
+	if len(scan) != 10 {
+		t.Fatalf("scan len %d", len(scan))
+	}
+	for i, op := range scan {
+		if op.Kind != core.OpRead {
+			t.Fatal("scan contains writes")
+		}
+		if i > 0 && scan[i].Item != scan[i-1].Item+1 {
+			t.Fatal("scan not sequential")
+		}
+	}
+	batch := g.Next(2) // even: batch update
+	if len(batch) != 5 {
+		t.Fatalf("batch len %d", len(batch))
+	}
+	for _, op := range batch {
+		if op.Kind != core.OpWrite {
+			t.Fatal("batch contains reads")
+		}
+	}
+}
+
+func TestWisconsinSmallDatabase(t *testing.T) {
+	g := NewWisconsin(3, 1)
+	for id := core.TxnID(1); id <= 20; id++ {
+		for _, op := range g.Next(id) {
+			if int(op.Item) >= 3 {
+				t.Fatalf("item %d out of range", op.Item)
+			}
+		}
+	}
+}
+
+func TestPayloadDistinct(t *testing.T) {
+	a := Payload(1, 5)
+	b := Payload(2, 5)
+	c := Payload(1, 6)
+	if string(a) == string(b) || string(a) == string(c) {
+		t.Error("payloads collide")
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	gens := []Generator{
+		NewUniform(50, 10, 1),
+		NewHotCold(100, 10, 5, 1),
+		NewET1(500, 1),
+		NewWisconsin(100, 1),
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		name := g.Name()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+	u := NewUniform(50, 10, 1)
+	u.ReadFraction = 0.8
+	if u.Name() == NewUniform(50, 10, 1).Name() {
+		t.Error("read-fraction variant not reflected in name")
+	}
+}

@@ -1,0 +1,189 @@
+package minraid_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"minraid"
+)
+
+// The facade tests exercise the library exactly as an importer would.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	c, err := minraid.NewCluster(minraid.ClusterConfig{Sites: 2, Items: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Exec(0, []minraid.Op{minraid.Write(7, []byte("hello"))})
+	if err != nil || !res.Committed {
+		t.Fatalf("write: %v %v", res, err)
+	}
+	res, err = c.Exec(1, []minraid.Op{minraid.Read(7)})
+	if err != nil || !res.Committed {
+		t.Fatalf("read: %v %v", res, err)
+	}
+	if !bytes.Equal(res.Reads[0].Value, []byte("hello")) {
+		t.Errorf("read = %q", res.Reads[0].Value)
+	}
+
+	if err := c.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	// Detection abort, then processing continues on site 0 alone.
+	c.Exec(0, []minraid.Op{minraid.Write(8, []byte("x"))})
+	res, err = c.Exec(0, []minraid.Op{minraid.Write(8, []byte("solo"))})
+	if err != nil || !res.Committed {
+		t.Fatalf("single-site write: %v %v", res, err)
+	}
+
+	if _, err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Error(report)
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	for _, p := range []minraid.Policy{minraid.ROWAA(), minraid.ROWA(), minraid.Quorum()} {
+		c, err := minraid.NewCluster(minraid.ClusterConfig{Sites: 3, Items: 10, Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Exec(0, []minraid.Op{minraid.Write(1, []byte(p.Name()))})
+		if err != nil || !res.Committed {
+			t.Errorf("%s: %v %v", p.Name(), res, err)
+		}
+		c.Close()
+	}
+}
+
+func TestPublicWorkloadsDrive(t *testing.T) {
+	c, err := minraid.NewCluster(minraid.ClusterConfig{Sites: 2, Items: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	gens := []minraid.Generator{
+		minraid.NewUniformWorkload(100, 5, 1),
+		minraid.NewET1Workload(100, 1),
+		minraid.NewWisconsinWorkload(100, 1),
+		minraid.NewHotColdWorkload(100, 10, 5, 1),
+	}
+	for _, g := range gens {
+		for i := 0; i < 5; i++ {
+			id := c.NextTxnID()
+			res, err := c.ExecTxn(minraid.SiteID(i%2), id, g.Next(id))
+			if err != nil || !res.Committed {
+				t.Fatalf("%s txn %d: %v %v", g.Name(), id, res, err)
+			}
+		}
+	}
+	report, _ := c.Audit()
+	if !report.OK() {
+		t.Error(report)
+	}
+}
+
+func TestPublicWALStoreFactory(t *testing.T) {
+	dir := t.TempDir()
+	c, err := minraid.NewCluster(minraid.ClusterConfig{
+		Sites: 2, Items: 10,
+		StoreFactory: func(id minraid.SiteID) (minraid.Store, error) {
+			return minraid.OpenWALStore(dir+"/"+id.String(), 10)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Exec(0, []minraid.Op{minraid.Write(3, []byte("durable"))})
+	if err != nil || !res.Committed {
+		t.Fatalf("WAL-backed write: %v %v", res, err)
+	}
+}
+
+func TestPublicSchedules(t *testing.T) {
+	if minraid.Scenario1Schedule().Txns != 120 {
+		t.Error("scenario 1 length")
+	}
+	if minraid.Scenario2Schedule().Txns != 160 {
+		t.Error("scenario 2 length")
+	}
+	res, err := minraid.RunSchedule(minraid.ExperimentConfig{Seed: 3}, minraid.Scenario1Schedule(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txns != 120 || !res.AuditOK {
+		t.Errorf("schedule run: %+v", res)
+	}
+}
+
+func TestPublicPartialReplication(t *testing.T) {
+	c, err := minraid.NewCluster(minraid.ClusterConfig{Sites: 4, Items: 8, ReplicationDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Item 0 hosted by sites 0 and 1; write through a non-host works.
+	res, err := c.Exec(3, []minraid.Op{minraid.Write(0, []byte("partial"))})
+	if err != nil || !res.Committed {
+		t.Fatalf("write: %v %v", res, err)
+	}
+	res, err = c.Exec(2, []minraid.Op{minraid.Read(0)})
+	if err != nil || !res.Committed {
+		t.Fatalf("read: %v %v", res, err)
+	}
+	if !bytes.Equal(res.Reads[0].Value, []byte("partial")) {
+		t.Errorf("read = %q", res.Reads[0].Value)
+	}
+	report, err := c.Audit()
+	if err != nil || !report.OK() {
+		t.Errorf("audit: %v %v", report, err)
+	}
+}
+
+func TestPublicConcurrentMode(t *testing.T) {
+	c, err := minraid.NewCluster(minraid.ClusterConfig{Sites: 2, Items: 10, ConcurrentTxns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 10; i++ {
+				id := c.NextTxnID()
+				item := minraid.ItemID(w) // disjoint items: all must commit
+				res, err := c.ExecTxn(minraid.SiteID(w%2), id, []minraid.Op{
+					minraid.Write(item, []byte{byte(w), byte(i)}),
+				})
+				if err != nil {
+					done <- err
+					return
+				}
+				if !res.Committed {
+					done <- fmt.Errorf("abort: %s", res.AbortReason)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := c.Audit()
+	if err != nil || !report.OK() {
+		t.Errorf("audit: %v %v", report, err)
+	}
+}
