@@ -120,6 +120,8 @@ func main() {
 			fmt.Println(report)
 		case "stats":
 			cmdStats(c, *sites)
+		case "trace":
+			cmdTrace(c, fields[1:])
 		case "figure1", "figure2", "figure3":
 			cmdFigure(fields[0], *delay)
 		default:
@@ -138,6 +140,7 @@ func printHelp() {
   faillocks            items fail-locked per site
   audit                cross-site consistency audit
   stats                per-site protocol counters
+  trace <txn>          cross-site event timeline of one transaction
   figure1|2|3          reproduce a paper figure (on a fresh cluster)
   quit
 `)
@@ -200,6 +203,19 @@ func printResult(res *minraid.TxnResult, err error) {
 		return
 	}
 	fmt.Println(cli.FormatResult(res))
+}
+
+func cmdTrace(c *minraid.Cluster, args []string) {
+	if len(args) != 1 {
+		fmt.Println("usage: trace <txn>")
+		return
+	}
+	n, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		fmt.Println("bad transaction id:", args[0])
+		return
+	}
+	fmt.Print(c.Tracer().Span(minraid.TraceID(n)).Timeline())
 }
 
 func cmdStatus(c *minraid.Cluster, sites int) {

@@ -30,6 +30,7 @@ func main() {
 		delay = flag.Duration("delay", 0, "per-hop communication cost (9ms reproduces the paper's hardware)")
 		seed  = flag.Int64("seed", 1987, "workload RNG seed")
 		csv   = flag.String("csv", "", "directory to write figure CSVs into")
+		pct   = flag.Bool("percentiles", false, "also print p50/p95/p99 latency tables per event class")
 	)
 	flag.Parse()
 
@@ -39,23 +40,23 @@ func main() {
 
 	if want("e1") {
 		ran = true
-		runE1(cfg)
+		runE1(cfg, *pct)
 	}
 	if want("f1") {
 		ran = true
-		runF1(cfg, *csv)
+		runF1(cfg, *csv, *pct)
 	}
 	if want("f2") {
 		ran = true
-		runScenario(cfg, *csv, "f2")
+		runScenario(cfg, *csv, "f2", *pct)
 	}
 	if want("f3") {
 		ran = true
-		runScenario(cfg, *csv, "f3")
+		runScenario(cfg, *csv, "f3", *pct)
 	}
 	if want("ext") {
 		ran = true
-		runExtensions(cfg)
+		runExtensions(cfg, *pct)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1, f1, f2, f3, ext)\n", *run)
@@ -75,7 +76,16 @@ func header(title string) {
 	fmt.Println(strings.Repeat("=", len(title)))
 }
 
-func runE1(cfg experiment.Config) {
+// percentiles prints the tail-latency table when -percentiles is set.
+func percentiles(show bool, pr *experiment.PercentileReport) {
+	if !show || pr == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Print(pr)
+}
+
+func runE1(cfg experiment.Config, pct bool) {
 	header("Experiment 1: overhead measurements (§2.2)")
 	fmt.Printf("parameters: 50 items, 4 sites, max txn size 10, delay %v\n\n", cfg.Delay)
 
@@ -85,6 +95,7 @@ func runE1(cfg experiment.Config) {
 	}
 	fmt.Println(fl)
 	fmt.Println("paper: coordinator 176 -> 186 ms (+5.7%), participant 90 -> 97 ms (+7.8%)")
+	percentiles(pct, fl.Percentiles)
 	fmt.Println()
 
 	ctrl, err := experiment.RunOverheadControl(cfg, 10)
@@ -93,6 +104,7 @@ func runE1(cfg experiment.Config) {
 	}
 	fmt.Println(ctrl)
 	fmt.Println("paper: type 1 recovering 190 ms, type 1 operational 50 ms, type 2 68 ms")
+	percentiles(pct, ctrl.Percentiles)
 	fmt.Println()
 
 	cop, err := experiment.RunOverheadCopier(cfg, 10)
@@ -101,9 +113,10 @@ func runE1(cfg experiment.Config) {
 	}
 	fmt.Println(cop)
 	fmt.Println("paper: 270 ms vs 186 ms (+45%); copy-serve 25 ms; clear 20 ms; ~30% of overhead from clearing")
+	percentiles(pct, cop.Percentiles)
 }
 
-func runF1(cfg experiment.Config, csvDir string) {
+func runF1(cfg experiment.Config, csvDir string, pct bool) {
 	header("Experiment 2: data availability on a recovering site (§3, Figure 1)")
 	rep, err := experiment.RunFigure1(cfg, 2000)
 	if err != nil {
@@ -112,12 +125,13 @@ func runF1(cfg experiment.Config, csvDir string) {
 	fmt.Println(rep)
 	fmt.Println("paper: >90% fail-locked after 100 txns; 160 txns to full recovery;")
 	fmt.Println("       first 10 locks cleared in 6 txns, last 10 in 106; 2 copiers requested")
+	percentiles(pct, rep.Res.Percentiles)
 	writeCSV(csvDir, "figure1.csv", []plot.Series{
 		{Name: "fail-locks site 0", Y: rep.Res.FailLocks[0]},
 	})
 }
 
-func runScenario(cfg experiment.Config, csvDir, which string) {
+func runScenario(cfg experiment.Config, csvDir, which string, pct bool) {
 	var (
 		rep *experiment.ScenarioReport
 		err error
@@ -138,6 +152,7 @@ func runScenario(cfg experiment.Config, csvDir, which string) {
 	} else {
 		fmt.Println("paper: no aborted transactions due to data being unavailable")
 	}
+	percentiles(pct, rep.Res.Percentiles)
 	var series []plot.Series
 	for i := 0; i < rep.Cfg.Sites; i++ {
 		series = append(series, plot.Series{
@@ -148,7 +163,7 @@ func runScenario(cfg experiment.Config, csvDir, which string) {
 	writeCSV(csvDir, which+".csv", series)
 }
 
-func runExtensions(cfg experiment.Config) {
+func runExtensions(cfg experiment.Config, pct bool) {
 	header("Extensions proposed by the paper (§3.2, §5)")
 
 	two, err := experiment.RunTwoStepRecovery(cfg, 0.5, 2000)
@@ -156,6 +171,7 @@ func runExtensions(cfg experiment.Config) {
 		fail(err)
 	}
 	fmt.Println(two)
+	percentiles(pct, two.Percentiles)
 
 	rf, err := experiment.RunReadFractionSweep(cfg, nil, 6000)
 	if err != nil {

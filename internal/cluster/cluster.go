@@ -18,6 +18,7 @@ import (
 	"minraid/internal/policy"
 	"minraid/internal/site"
 	"minraid/internal/storage"
+	"minraid/internal/trace"
 	"minraid/internal/transport"
 )
 
@@ -56,6 +57,10 @@ type Config struct {
 	// distributed strict 2PL on every site (the paper's deferred
 	// concurrency-control future work); 0 or 1 keeps serial processing.
 	ConcurrentTxns int
+	// Tracer receives structured trace events from every site and
+	// per-kind message counts from the transport. Nil allocates a shared
+	// recorder with the default capacity.
+	Tracer *trace.Recorder
 }
 
 // Cluster is a running mini-RAID system.
@@ -65,8 +70,10 @@ type Cluster struct {
 	sites  []*site.Site
 	mgr    transport.Endpoint
 	caller *transport.Caller
+	tracer *trace.Recorder
 
-	nextTxn atomic.Uint64
+	nextTxn   atomic.Uint64
+	nextAdmin atomic.Uint64
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -83,8 +90,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ManagerTimeout <= 0 {
 		cfg.ManagerTimeout = 30 * time.Second
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.NewRecorder(0)
+	}
 	net := transport.NewMemory(transport.MemoryConfig{Sites: cfg.Sites, Delay: cfg.Delay})
-	c := &Cluster{cfg: cfg, net: net}
+	net.SetTracer(cfg.Tracer)
+	c := &Cluster{cfg: cfg, net: net, tracer: cfg.Tracer}
 
 	for i := 0; i < cfg.Sites; i++ {
 		id := core.SiteID(i)
@@ -109,6 +120,7 @@ func New(cfg Config) (*Cluster, error) {
 			EnableType3:                cfg.EnableType3,
 			Replicas:                   cfg.Replicas,
 			ConcurrentTxns:             cfg.ConcurrentTxns,
+			Tracer:                     cfg.Tracer,
 		}, net)
 		if err != nil {
 			net.Close()
@@ -169,6 +181,17 @@ func (c *Cluster) Site(id core.SiteID) *site.Site { return c.sites[id] }
 // Registry returns site id's metrics registry.
 func (c *Cluster) Registry(id core.SiteID) *metrics.Registry { return c.sites[id].Metrics() }
 
+// Tracer returns the cluster-wide trace recorder.
+func (c *Cluster) Tracer() *trace.Recorder { return c.tracer }
+
+// adminTrace allocates a trace ID for a managing-site admin operation
+// (fail/recover). Admin IDs live above trace.AdminBase so they never
+// collide with transaction IDs, and they draw from their own counter so
+// tracing does not perturb the transaction numbering experiments rely on.
+func (c *Cluster) adminTrace() uint64 {
+	return uint64(trace.AdminBase) + c.nextAdmin.Add(1)
+}
+
 // MessagesSent returns the network-wide message count.
 func (c *Cluster) MessagesSent() uint64 { return c.net.MessagesSent() }
 
@@ -222,7 +245,8 @@ func (c *Cluster) Exec(coordinator core.SiteID, ops []core.Op) (*msg.TxnResult, 
 
 // ExecTxn sends a database transaction with an explicit ID.
 func (c *Cluster) ExecTxn(coordinator core.SiteID, id core.TxnID, ops []core.Op) (*msg.TxnResult, error) {
-	reply, err := c.caller.Call(coordinator, &msg.ClientTxn{Txn: id, Ops: ops})
+	start := time.Now()
+	reply, err := c.caller.CallT(uint64(id), coordinator, &msg.ClientTxn{Txn: id, Ops: ops})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (txn %d): %v", ErrNoResponse, coordinator, id, err)
 	}
@@ -230,12 +254,14 @@ func (c *Cluster) ExecTxn(coordinator core.SiteID, id core.TxnID, ops []core.Op)
 	if !ok {
 		return nil, fmt.Errorf("cluster: unexpected reply %s to txn %d", reply.Body.Kind(), id)
 	}
+	c.tracer.Emit(trace.ID(id), core.ManagingSite, trace.PhaseInject,
+		fmt.Sprintf("coord=%d ops=%d", coordinator, len(ops)), start)
 	return res, nil
 }
 
 // Fail orders a site to simulate failure and waits for the acknowledgement.
 func (c *Cluster) Fail(id core.SiteID) error {
-	if _, err := c.caller.Call(id, &msg.FailSim{}); err != nil {
+	if _, err := c.caller.CallT(c.adminTrace(), id, &msg.FailSim{}); err != nil {
 		return fmt.Errorf("%w: failing %s: %v", ErrNoResponse, id, err)
 	}
 	return nil
@@ -246,7 +272,7 @@ func (c *Cluster) Fail(id core.SiteID) error {
 // transaction has finished). ErrRecoveryBlocked is returned when no
 // operational site could act as donor.
 func (c *Cluster) Recover(id core.SiteID) (*msg.StatusResp, error) {
-	reply, err := c.caller.Call(id, &msg.RecoverSim{})
+	reply, err := c.caller.CallT(c.adminTrace(), id, &msg.RecoverSim{})
 	if err != nil {
 		return nil, fmt.Errorf("%w: recovering %s: %v", ErrNoResponse, id, err)
 	}

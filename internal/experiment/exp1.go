@@ -27,6 +27,9 @@ type FailLockOverheadReport struct {
 	CoordWithout time.Duration
 	PartWith     time.Duration
 	PartWithout  time.Duration
+	// Percentiles holds the with-fail-locks arm's latency histograms
+	// (the production configuration).
+	Percentiles *PercentileReport
 }
 
 // CoordOverheadPct returns the coordinator-side overhead percentage
@@ -52,9 +55,9 @@ func pctIncrease(base, with time.Duration) float64 {
 func (r FailLockOverheadReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Experiment 1a: overhead for fail-locks maintenance (%d txns per cell)\n", r.Txns)
-	fmt.Fprintf(&b, "%-20s %16s %16s %10s\n", "", "without fail-locks", "with fail-locks", "overhead")
-	fmt.Fprintf(&b, "%-20s %16v %16v %9.1f%%\n", "Coordinating site", r.CoordWithout.Round(time.Microsecond), r.CoordWith.Round(time.Microsecond), r.CoordOverheadPct())
-	fmt.Fprintf(&b, "%-20s %16v %16v %9.1f%%\n", "Participating site", r.PartWithout.Round(time.Microsecond), r.PartWith.Round(time.Microsecond), r.PartOverheadPct())
+	fmt.Fprintf(&b, "%-20s %16s %16s %10s  %s\n", "", "without fail-locks", "with fail-locks", "overhead", "tail (with)")
+	fmt.Fprintf(&b, "%-20s %16v %16v %9.1f%%  %s\n", "Coordinating site", r.CoordWithout.Round(time.Microsecond), r.CoordWith.Round(time.Microsecond), r.CoordOverheadPct(), r.Percentiles.p95p99(site.TimerCoordTxn))
+	fmt.Fprintf(&b, "%-20s %16v %16v %9.1f%%  %s\n", "Participating site", r.PartWithout.Round(time.Microsecond), r.PartWith.Round(time.Microsecond), r.PartOverheadPct(), r.Percentiles.p95p99(site.TimerPartTxn))
 	return b.String()
 }
 
@@ -69,7 +72,7 @@ func RunOverheadFailLocks(cfg Config, warmup, measured int) (*FailLockOverheadRe
 	for _, disable := range []bool{true, false} {
 		ccfg := cfg.clusterConfig()
 		ccfg.DisableFailLockMaintenance = disable
-		coord, part, err := measureTxnTimes(cfg, ccfg, warmup, measured)
+		coord, part, pct, err := measureTxnTimes(cfg, ccfg, warmup, measured)
 		if err != nil {
 			return nil, err
 		}
@@ -77,6 +80,7 @@ func RunOverheadFailLocks(cfg Config, warmup, measured int) (*FailLockOverheadRe
 			report.CoordWithout, report.PartWithout = coord, part
 		} else {
 			report.CoordWith, report.PartWith = coord, part
+			report.Percentiles = pct
 		}
 	}
 	return report, nil
@@ -84,10 +88,10 @@ func RunOverheadFailLocks(cfg Config, warmup, measured int) (*FailLockOverheadRe
 
 // measureTxnTimes runs the paper's workload and returns the mean
 // coordinator and participant transaction times over the measured window.
-func measureTxnTimes(cfg Config, ccfg cluster.Config, warmup, measured int) (coord, part time.Duration, err error) {
+func measureTxnTimes(cfg Config, ccfg cluster.Config, warmup, measured int) (coord, part time.Duration, pct *PercentileReport, err error) {
 	c, err := cluster.New(ccfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer c.Close()
 	gen := workload.NewUniform(cfg.Items, cfg.MaxOps, cfg.Seed)
@@ -109,7 +113,7 @@ func measureTxnTimes(cfg Config, ccfg cluster.Config, warmup, measured int) (coo
 	// stable state of transaction processing was achieved" (§2.1).
 	for i := 0; i < warmup; i++ {
 		if err := runOne(); err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 	}
 	for i := 0; i < cfg.Sites; i++ {
@@ -117,7 +121,7 @@ func measureTxnTimes(cfg Config, ccfg cluster.Config, warmup, measured int) (coo
 	}
 	for i := 0; i < measured; i++ {
 		if err := runOne(); err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 	}
 
@@ -133,9 +137,9 @@ func measureTxnTimes(cfg Config, ccfg cluster.Config, warmup, measured int) (coo
 		partN += pt.Count
 	}
 	if coordN == 0 || partN == 0 {
-		return 0, 0, fmt.Errorf("experiment 1: no timer observations")
+		return 0, 0, nil, fmt.Errorf("experiment 1: no timer observations")
 	}
-	return coordTotal / time.Duration(coordN), partTotal / time.Duration(partN), nil
+	return coordTotal / time.Duration(coordN), partTotal / time.Duration(partN), CollectPercentiles(c), nil
 }
 
 // ControlOverheadReport is the §2.2.2 table: control-transaction costs.
@@ -149,15 +153,17 @@ type ControlOverheadReport struct {
 	Type1Operational time.Duration
 	// Type2: type-2 completion per announced-to site (paper: 68 ms).
 	Type2 time.Duration
+	// Percentiles holds the run's latency histograms per event class.
+	Percentiles *PercentileReport
 }
 
 // String renders the §2.2.2 table.
 func (r ControlOverheadReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Experiment 1b: overhead for control transactions (%d failure/recovery rounds)\n", r.Rounds)
-	fmt.Fprintf(&b, "  %-44s %12v\n", "Type 1 at recovering site", r.Type1Recovering.Round(time.Microsecond))
-	fmt.Fprintf(&b, "  %-44s %12v\n", "Type 1 at operational site", r.Type1Operational.Round(time.Microsecond))
-	fmt.Fprintf(&b, "  %-44s %12v\n", "Type 2 (per announced-to site)", r.Type2.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Type 1 at recovering site", r.Type1Recovering.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCtrl1Recovering))
+	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Type 1 at operational site", r.Type1Operational.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCtrl1Operational))
+	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Type 2 (per announced-to site)", r.Type2.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCtrl2))
 	return b.String()
 }
 
@@ -204,7 +210,7 @@ func RunOverheadControl(cfg Config, rounds int) (*ControlOverheadReport, error) 
 		}
 	}
 
-	report := &ControlOverheadReport{Rounds: rounds}
+	report := &ControlOverheadReport{Rounds: rounds, Percentiles: CollectPercentiles(c)}
 	report.Type1Recovering = c.Registry(victim).Timer(site.TimerCtrl1Recovering).Mean()
 	var opTotal, t2Total time.Duration
 	var opN, t2N uint64
@@ -242,6 +248,8 @@ type CopierOverheadReport struct {
 	// ClearSites is the number of sites contacted by each special
 	// transaction.
 	ClearSites int
+	// Percentiles holds the run's latency histograms per event class.
+	Percentiles *PercentileReport
 }
 
 // IncreasePct is the copier-transaction cost increase (paper: 45%).
@@ -264,10 +272,10 @@ func (r CopierOverheadReport) ClearSharePct() float64 {
 func (r CopierOverheadReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Experiment 1c: overhead for copier transactions (%d rounds)\n", r.Rounds)
-	fmt.Fprintf(&b, "  %-44s %12v\n", "Database txn without copier", r.TxnPlain.Round(time.Microsecond))
-	fmt.Fprintf(&b, "  %-44s %12v  (+%.0f%%)\n", "Database txn with one copier", r.TxnWithCopier.Round(time.Microsecond), r.IncreasePct())
-	fmt.Fprintf(&b, "  %-44s %12v\n", "Copy request service at donor", r.CopyServe.Round(time.Microsecond))
-	fmt.Fprintf(&b, "  %-44s %12v\n", "Clear-fail-locks special txn (per site)", r.ClearFailLocks.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Database txn without copier", r.TxnPlain.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCoordTxn))
+	fmt.Fprintf(&b, "  %-44s %12v  (+%.0f%%)  %s\n", "Database txn with one copier", r.TxnWithCopier.Round(time.Microsecond), r.IncreasePct(), r.Percentiles.p95p99(site.TimerCoordTxnCopier))
+	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Copy request service at donor", r.CopyServe.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCopyServe))
+	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Clear-fail-locks special txn (per site)", r.ClearFailLocks.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerClearFailLocks))
 	fmt.Fprintf(&b, "  %-44s %11.0f%%\n", "Share of copier overhead from clearing", r.ClearSharePct())
 	return b.String()
 }
@@ -321,7 +329,7 @@ func RunOverheadCopier(cfg Config, rounds int) (*CopierOverheadReport, error) {
 		}
 	}
 
-	report := &CopierOverheadReport{Rounds: rounds, ClearSites: cfg.Sites - 1}
+	report := &CopierOverheadReport{Rounds: rounds, ClearSites: cfg.Sites - 1, Percentiles: CollectPercentiles(c)}
 	var plainTotal, copierTotal time.Duration
 	var plainN, copierN uint64
 	var serveTotal, clearTotal time.Duration

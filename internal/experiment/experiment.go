@@ -123,6 +123,9 @@ type ScheduleResult struct {
 	AuditOK bool
 	// AuditDetail holds the audit's String rendering.
 	AuditDetail string
+	// Percentiles holds the run's merged latency histograms and message
+	// counts (-percentiles view).
+	Percentiles *PercentileReport
 }
 
 // RunSchedule drives the schedule with the paper's uniform workload. If
@@ -221,5 +224,6 @@ func RunSchedule(cfg Config, sched failure.Schedule, capTxns int) (*ScheduleResu
 	}
 	res.AuditOK = report.OK()
 	res.AuditDetail = report.String()
+	res.Percentiles = CollectPercentiles(c)
 	return res, nil
 }

@@ -27,6 +27,8 @@ type TwoStepRecoveryReport struct {
 	// TwoStepBatchCopiers counts the batch copiers step two issued
 	// (grouped: one copier can refresh many items from one donor).
 	TwoStepBatchCopiers int
+	// Percentiles merges both arms' latency histograms.
+	Percentiles *PercentileReport
 }
 
 // String renders the comparison.
@@ -70,6 +72,8 @@ func RunTwoStepRecovery(cfg Config, threshold float64, capTxns int) (*TwoStepRec
 	report.TwoStep = recoverySpan(twoRes)
 	report.TwoStepCopiers = twoRes.Copiers
 	report.TwoStepBatchCopiers = twoRes.BatchCopiers
+	report.Percentiles = baseRes.Percentiles
+	report.Percentiles.Merge(twoRes.Percentiles)
 	return report, nil
 }
 

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"minraid/internal/cluster"
+	"minraid/internal/core"
+	"minraid/internal/metrics"
+)
+
+// PercentileReport is the tail-latency view of one experiment run: every
+// site's latency histograms merged per event class, plus the network's
+// per-kind message counts. The paper reports means only; percentiles show
+// how failure handling stretches the tail without moving the mean much.
+type PercentileReport struct {
+	// Hists maps a timer name (site.Timer*) to the histogram merged
+	// across every site of the run.
+	Hists map[string]metrics.HistogramStat
+	// Msgs counts messages sent on the wire, per message kind.
+	Msgs map[string]uint64
+}
+
+// CollectPercentiles merges the latency histograms of every site in a
+// running cluster and snapshots the per-kind message counts. Call it
+// before Close — registries die with their sites.
+func CollectPercentiles(c *cluster.Cluster) *PercentileReport {
+	r := &PercentileReport{
+		Hists: make(map[string]metrics.HistogramStat),
+		Msgs:  make(map[string]uint64),
+	}
+	for i := 0; i < c.Sites(); i++ {
+		for name, h := range c.Registry(core.SiteID(i)).Histograms() {
+			agg := r.Hists[name]
+			agg.Merge(h)
+			r.Hists[name] = agg
+		}
+	}
+	for kind, n := range c.Tracer().MessageCounts() {
+		r.Msgs[kind] = n
+	}
+	return r
+}
+
+// Merge folds another run's report into this one (exp1a runs one cluster
+// per ablation arm).
+func (r *PercentileReport) Merge(other *PercentileReport) {
+	if other == nil {
+		return
+	}
+	for name, h := range other.Hists {
+		agg := r.Hists[name]
+		agg.Merge(h)
+		r.Hists[name] = agg
+	}
+	for kind, n := range other.Msgs {
+		r.Msgs[kind] += n
+	}
+}
+
+// String renders the per-event-class percentile table followed by the
+// message-count breakdown.
+func (r *PercentileReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Latency percentiles per event class (all sites merged)\n")
+	fmt.Fprintf(&b, "  %-28s %8s %10s %10s %10s %10s %10s\n",
+		"event", "n", "mean", "p50", "p95", "p99", "max")
+	names := make([]string, 0, len(r.Hists))
+	for name := range r.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.Hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-28s %8d %10v %10v %10v %10v %10v\n",
+			name, h.Count,
+			rndUs(h.Mean()), rndUs(h.Quantile(0.50)),
+			rndUs(h.Quantile(0.95)), rndUs(h.Quantile(0.99)), rndUs(h.Max))
+	}
+	if len(r.Msgs) > 0 {
+		fmt.Fprintf(&b, "Messages sent per kind\n")
+		kinds := make([]string, 0, len(r.Msgs))
+		for kind := range r.Msgs {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			fmt.Fprintf(&b, "  %-28s %8d\n", kind, r.Msgs[kind])
+		}
+	}
+	return b.String()
+}
+
+func rndUs(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// p95p99 formats the tail of one event class for report columns; blank
+// when the class was never observed.
+func (r *PercentileReport) p95p99(name string) string {
+	if r == nil {
+		return ""
+	}
+	h, ok := r.Hists[name]
+	if !ok || h.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf("p95=%v p99=%v", rndUs(h.Quantile(0.95)), rndUs(h.Quantile(0.99)))
+}

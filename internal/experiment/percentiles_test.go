@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"minraid/internal/cluster"
+	"minraid/internal/core"
+)
+
+func TestCollectPercentiles(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Sites: 2, Items: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if res, err := c.Exec(0, []core.Op{core.Write(core.ItemID(i), []byte("x"))}); err != nil || !res.Committed {
+			t.Fatalf("txn %d: %v %v", i, res, err)
+		}
+	}
+
+	pr := CollectPercentiles(c)
+	h, ok := pr.Hists["txn.coord"]
+	if !ok || h.Count != 5 {
+		t.Fatalf("coordinator histogram = %+v (ok=%v), want 5 observations", h, ok)
+	}
+	if h.Quantile(0.5) <= 0 || h.Quantile(0.99) < h.Quantile(0.5) {
+		t.Errorf("implausible quantiles: p50=%v p99=%v", h.Quantile(0.5), h.Quantile(0.99))
+	}
+	if pr.Msgs["prepare"] == 0 || pr.Msgs["commit"] == 0 {
+		t.Errorf("message counts missing 2PC traffic: %v", pr.Msgs)
+	}
+
+	out := pr.String()
+	for _, want := range []string{"p50", "p95", "p99", "txn.coord", "Messages sent per kind", "prepare"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("percentile table missing %q:\n%s", want, out)
+		}
+	}
+
+	// Merge doubles the counts.
+	pr.Merge(CollectPercentiles(c))
+	if got := pr.Hists["txn.coord"].Count; got != 10 {
+		t.Errorf("merged count = %d, want 10", got)
+	}
+	// Merging nil is a no-op.
+	pr.Merge(nil)
+}

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -34,11 +35,128 @@ func (s TimerStat) String() string {
 	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", s.Count, s.Mean(), s.Min, s.Max)
 }
 
-// Registry is a set of named timers and counters, safe for concurrent use.
-// The zero value is not usable; call NewRegistry.
+// HistBuckets is the number of fixed power-of-two histogram buckets.
+// Bucket i holds durations d with bits.Len64(d nanoseconds) == i, i.e.
+// [2^(i-1), 2^i) ns, so the range spans sub-nanosecond to ~292 years.
+const HistBuckets = 65
+
+// bucketOf maps a duration to its histogram bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// bucketLow returns the inclusive lower bound of bucket i.
+func bucketLow(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	return time.Duration(1) << (i - 1)
+}
+
+// bucketHigh returns the exclusive upper bound of bucket i.
+func bucketHigh(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(1) << i
+}
+
+// HistogramStat is an immutable snapshot of one latency histogram: the
+// same count/total/min/max as TimerStat plus the bucket populations,
+// which make tail quantiles recoverable. The paper reports only means
+// (§2.1); recovery-time stalls live in the tail, so snapshots carry
+// enough to answer p50/p95/p99.
+type HistogramStat struct {
+	Count   uint64
+	Total   time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Buckets [HistBuckets]uint64
+}
+
+// Mean returns the average observation, or zero if none were recorded.
+func (h HistogramStat) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Total / time.Duration(h.Count)
+}
+
+// Quantile returns an estimate of the p-th quantile (p in [0,1]). The
+// estimate interpolates linearly inside the bucket holding the target
+// rank and is clamped to the observed [Min, Max]. An empty histogram
+// returns 0; p <= 0 returns Min; p >= 1 returns Max.
+func (h HistogramStat) Quantile(p float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min
+	}
+	if p >= 1 {
+		return h.Max
+	}
+	rank := uint64(p * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if rank < seen+n {
+			lo, hi := bucketLow(i), bucketHigh(i)
+			// Position of the target rank within this bucket.
+			frac := (float64(rank-seen) + 0.5) / float64(n)
+			est := lo + time.Duration(frac*float64(hi-lo))
+			if est < h.Min {
+				est = h.Min
+			}
+			if est > h.Max {
+				est = h.Max
+			}
+			return est
+		}
+		seen += n
+	}
+	return h.Max
+}
+
+// Merge folds other into h, combining two sites' histograms of the same
+// event class.
+func (h *HistogramStat) Merge(other HistogramStat) {
+	if other.Count == 0 {
+		return
+	}
+	if h.Count == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.Count += other.Count
+	h.Total += other.Total
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// String implements fmt.Stringer, including the tail quantiles.
+func (h HistogramStat) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
+}
+
+// Registry is a set of named timers, histograms and counters, safe for
+// concurrent use. The zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu       sync.Mutex
 	timers   map[string]*TimerStat
+	hists    map[string]*HistogramStat
 	counters map[string]uint64
 }
 
@@ -46,11 +164,13 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		timers:   make(map[string]*TimerStat),
+		hists:    make(map[string]*HistogramStat),
 		counters: make(map[string]uint64),
 	}
 }
 
-// Observe records one duration under name.
+// Observe records one duration under name, updating both the timer and
+// the histogram of that name.
 func (r *Registry) Observe(name string, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -67,6 +187,20 @@ func (r *Registry) Observe(name string, d time.Duration) {
 	if d > t.Max {
 		t.Max = d
 	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &HistogramStat{Min: d, Max: d}
+		r.hists[name] = h
+	}
+	h.Count++
+	h.Total += d
+	if d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Buckets[bucketOf(d)]++
 }
 
 // Time runs fn and records its duration under name.
@@ -112,6 +246,28 @@ func (r *Registry) Timers() map[string]TimerStat {
 	return out
 }
 
+// Histogram returns a snapshot of the named histogram; the zero
+// HistogramStat if it was never observed.
+func (r *Registry) Histogram(name string) HistogramStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return *h
+	}
+	return HistogramStat{}
+}
+
+// Histograms returns a snapshot of every histogram.
+func (r *Registry) Histograms() map[string]HistogramStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistogramStat, len(r.hists))
+	for k, v := range r.hists {
+		out[k] = *v
+	}
+	return out
+}
+
 // Counters returns a snapshot of every counter.
 func (r *Registry) Counters() map[string]uint64 {
 	r.mu.Lock()
@@ -130,6 +286,7 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.timers = make(map[string]*TimerStat)
+	r.hists = make(map[string]*HistogramStat)
 	r.counters = make(map[string]uint64)
 }
 
@@ -149,7 +306,11 @@ func (r *Registry) String() string {
 	for _, n := range names {
 		kind, name := n[:1], n[2:]
 		if kind == "T" {
-			fmt.Fprintf(&b, "timer %-24s %s\n", name, (*r.timers[name]).String())
+			if h, ok := r.hists[name]; ok {
+				fmt.Fprintf(&b, "timer %-24s %s\n", name, h.String())
+			} else {
+				fmt.Fprintf(&b, "timer %-24s %s\n", name, (*r.timers[name]).String())
+			}
 		} else {
 			fmt.Fprintf(&b, "count %-24s %d\n", name, r.counters[name])
 		}

@@ -113,6 +113,189 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h HistogramStat
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(p); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v", p, got)
+		}
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("one", 7*time.Millisecond)
+	h := r.Histogram("one")
+	for _, p := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(p); got != 7*time.Millisecond {
+			t.Errorf("single-sample Quantile(%v) = %v", p, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAllEqual(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		r.Observe("eq", 3*time.Millisecond)
+	}
+	h := r.Histogram("eq")
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		if got := h.Quantile(p); got != 3*time.Millisecond {
+			t.Errorf("all-equal Quantile(%v) = %v", p, got)
+		}
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	r := NewRegistry()
+	// Durations spread over many buckets: 1us .. 100ms.
+	for i := 1; i <= 1000; i++ {
+		r.Observe("spread", time.Duration(i)*100*time.Microsecond)
+	}
+	h := r.Histogram("spread")
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if p50 < h.Min || p99 > h.Max {
+		t.Errorf("quantiles outside [min,max]: %v %v (min=%v max=%v)", p50, p99, h.Min, h.Max)
+	}
+	// p99 must sit near the top of the range; buckets are power-of-two so
+	// allow generous slack, but 50ms is the floor for a 100ms max.
+	if p99 < 50*time.Millisecond {
+		t.Errorf("p99 = %v, expected near 100ms", p99)
+	}
+	if p50 > 90*time.Millisecond {
+		t.Errorf("p50 = %v, expected near 50ms", p50)
+	}
+}
+
+func TestHistogramQuantileBoundsP0P1(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("b", time.Millisecond)
+	r.Observe("b", 10*time.Millisecond)
+	h := r.Histogram("b")
+	if h.Quantile(0) != time.Millisecond {
+		t.Errorf("Quantile(0) = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 10*time.Millisecond {
+		t.Errorf("Quantile(1) = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	for i := 0; i < 10; i++ {
+		a.Observe("x", time.Millisecond)
+		b.Observe("x", 100*time.Millisecond)
+	}
+	ha, hb := a.Histogram("x"), b.Histogram("x")
+	ha.Merge(hb)
+	if ha.Count != 20 {
+		t.Errorf("merged Count = %d", ha.Count)
+	}
+	if ha.Min != time.Millisecond || ha.Max != 100*time.Millisecond {
+		t.Errorf("merged Min/Max = %v/%v", ha.Min, ha.Max)
+	}
+	var zero HistogramStat
+	zero.Merge(hb)
+	if zero.Count != 10 || zero.Min != hb.Min {
+		t.Errorf("merge into zero: %+v", zero)
+	}
+	hb2 := hb
+	hb2.Merge(HistogramStat{})
+	if hb2.Count != 10 {
+		t.Errorf("merge of empty changed count: %d", hb2.Count)
+	}
+}
+
+func TestHistogramTracksTimer(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("t", 2*time.Millisecond)
+	r.Observe("t", 4*time.Millisecond)
+	ts, hs := r.Timer("t"), r.Histogram("t")
+	if ts.Count != hs.Count || ts.Total != hs.Total || ts.Min != hs.Min || ts.Max != hs.Max {
+		t.Errorf("timer %+v and histogram mismatch (n=%d total=%v)", ts, hs.Count, hs.Total)
+	}
+	snap := r.Histograms()
+	if len(snap) != 1 || snap["t"].Count != 2 {
+		t.Errorf("Histograms snapshot: %+v", snap)
+	}
+	r.Reset()
+	if r.Histogram("t").Count != 0 {
+		t.Error("reset did not clear histograms")
+	}
+}
+
+// TestRegistryConcurrencyHammer exercises every registry entry point from
+// many goroutines at once; run with -race it verifies the locking.
+func TestRegistryConcurrencyHammer(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				r.Observe("h", time.Duration(j+1)*time.Microsecond)
+				r.Add("c", 1)
+			}
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Timers()
+				_ = r.Histograms()
+				_ = r.Counters()
+				_ = r.Timer("h")
+				_ = r.Histogram("h")
+				_ = r.Counter("c")
+				_ = r.String()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			r.Reset()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	// Wait for the writers, then release the readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("hammer deadlocked")
+	}
+	// Post-reset state must still be coherent and usable.
+	r.Reset()
+	r.Observe("h", time.Millisecond)
+	if r.Timer("h").Count != 1 || r.Histogram("h").Count != 1 {
+		t.Error("registry unusable after hammer")
+	}
+}
+
 func TestSeries(t *testing.T) {
 	s := NewSeries("fail-locks")
 	if s.Name() != "fail-locks" {

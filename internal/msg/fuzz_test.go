@@ -12,10 +12,10 @@ import (
 func FuzzUnmarshal(f *testing.F) {
 	vec := core.NewSessionVector(3)
 	seeds := []*Envelope{
-		{From: 0, To: 1, Seq: 1, Body: &ClientTxn{Txn: 1, Ops: []core.Op{core.Read(1), core.Write(2, []byte("v"))}}},
-		{From: 1, To: 0, Seq: 2, ReplyTo: 1, Body: &TxnResult{Txn: 1, Committed: true}},
-		{From: 0, To: 1, Seq: 3, Body: &Prepare{Txn: 2, Vector: vec.Records(), Writes: []core.ItemVersion{{Item: 1, Version: 2, Value: []byte("w")}}, MaintOnly: []core.ItemID{3}}},
-		{From: 2, To: 0, Seq: 4, Body: &CtrlRecoverAck{OK: true, Vector: vec.Records(), FailLocks: []uint64{1, 2, 3}}},
+		{From: 0, To: 1, Seq: 1, Trace: 1, Body: &ClientTxn{Txn: 1, Ops: []core.Op{core.Read(1), core.Write(2, []byte("v"))}}},
+		{From: 1, To: 0, Seq: 2, ReplyTo: 1, Trace: 1, Body: &TxnResult{Txn: 1, Committed: true}},
+		{From: 0, To: 1, Seq: 3, Trace: 7, Body: &Prepare{Txn: 2, Vector: vec.Records(), Writes: []core.ItemVersion{{Item: 1, Version: 2, Value: []byte("w")}}, MaintOnly: []core.ItemID{3}}},
+		{From: 2, To: 0, Seq: 4, Trace: 1 << 32, Body: &CtrlRecoverAck{OK: true, Vector: vec.Records(), FailLocks: []uint64{1, 2, 3}}},
 		{From: 0, To: 2, Seq: 5, Body: &ReadReq{Txn: 9, Items: []core.ItemID{0, 1}, RequireFresh: true}},
 	}
 	for _, env := range seeds {
@@ -23,6 +23,9 @@ func FuzzUnmarshal(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	// An old-format (v1, no version byte / no trace) commit envelope:
+	// must be rejected, never misparsed.
+	f.Add([]byte{0, 1, 1, 0, byte(KindCommit), 9})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := Unmarshal(data)
@@ -33,7 +36,7 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted envelope failed re-decode: %v", err)
 		}
-		if re.Body.Kind() != env.Body.Kind() || re.Seq != env.Seq || re.From != env.From {
+		if re.Body.Kind() != env.Body.Kind() || re.Seq != env.Seq || re.From != env.From || re.Trace != env.Trace {
 			t.Fatalf("re-decode changed identity: %v vs %v", env, re)
 		}
 	})

@@ -12,16 +12,25 @@ import (
 // Seq is unique per sending site; a reply carries the request's Seq in
 // ReplyTo so the sender can match it to its pending call, exactly like an
 // RPC transaction ID. Requests have ReplyTo == 0.
+//
+// Trace carries the trace ID of the activity this message belongs to
+// (the transaction ID for transaction traffic, an admin ID for control
+// operations), propagated unchanged through every message a traced
+// activity causes. Zero means untraced.
 type Envelope struct {
 	From    core.SiteID
 	To      core.SiteID
 	Seq     uint64
 	ReplyTo uint64
+	Trace   uint64
 	Body    Body
 }
 
 // String implements fmt.Stringer.
 func (e *Envelope) String() string {
+	if e.Trace != 0 {
+		return fmt.Sprintf("%s->%s #%d re#%d tr#%d %s", e.From, e.To, e.Seq, e.ReplyTo, e.Trace, e.Body.Kind())
+	}
 	return fmt.Sprintf("%s->%s #%d re#%d %s", e.From, e.To, e.Seq, e.ReplyTo, e.Body.Kind())
 }
 
@@ -35,13 +44,22 @@ type Body interface {
 	decode(dec *wire.Decoder)
 }
 
+// EnvelopeVersion is the wire-format version byte leading every
+// marshalled envelope. Version 1 (implicit: no version byte, header
+// started with the From site) predates the Trace field; version 2 adds
+// the leading version byte and a Trace uvarint after ReplyTo. Decoding
+// rejects any other version with a clean error rather than guessing.
+const EnvelopeVersion = 2
+
 // Marshal encodes an envelope to bytes.
 func Marshal(env *Envelope) []byte {
 	enc := wire.NewEncoder(64)
+	enc.Uint8(EnvelopeVersion)
 	enc.Uint8(uint8(env.From))
 	enc.Uint8(uint8(env.To))
 	enc.Uvarint(env.Seq)
 	enc.Uvarint(env.ReplyTo)
+	enc.Uvarint(env.Trace)
 	enc.Uint8(uint8(env.Body.Kind()))
 	env.Body.encode(enc)
 	return enc.Bytes()
@@ -50,11 +68,15 @@ func Marshal(env *Envelope) []byte {
 // Unmarshal decodes an envelope from bytes.
 func Unmarshal(buf []byte) (*Envelope, error) {
 	dec := wire.NewDecoder(buf)
+	if v := dec.Uint8(); dec.Err() == nil && v != EnvelopeVersion {
+		return nil, fmt.Errorf("msg: %w: envelope version %d, want %d", wire.ErrCorrupt, v, EnvelopeVersion)
+	}
 	env := &Envelope{
 		From:    core.SiteID(dec.Uint8()),
 		To:      core.SiteID(dec.Uint8()),
 		Seq:     dec.Uvarint(),
 		ReplyTo: dec.Uvarint(),
+		Trace:   dec.Uvarint(),
 	}
 	kind := Kind(dec.Uint8())
 	if dec.Err() != nil {

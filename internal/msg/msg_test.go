@@ -2,6 +2,7 @@ package msg
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -67,7 +68,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&Shutdown{},
 	}
 	for i, b := range bodies {
-		env := &Envelope{From: 1, To: 2, Seq: uint64(i + 1), ReplyTo: uint64(i), Body: b}
+		env := &Envelope{From: 1, To: 2, Seq: uint64(i + 1), ReplyTo: uint64(i), Trace: uint64(i) * 1000003, Body: b}
 		roundTrip(t, env)
 	}
 }
@@ -121,10 +122,43 @@ func TestIsReplyPartition(t *testing.T) {
 func TestUnmarshalRejectsUnknownKind(t *testing.T) {
 	env := &Envelope{From: 0, To: 1, Seq: 1, Body: &Commit{Txn: 1}}
 	buf := Marshal(env)
-	// Kind byte follows From(1)+To(1)+Seq(1)+ReplyTo(1) for small varints.
-	buf[4] = 250
+	// Kind byte follows Version(1)+From(1)+To(1)+Seq(1)+ReplyTo(1)+Trace(1)
+	// for small varints.
+	buf[6] = 250
 	if _, err := Unmarshal(buf); err == nil {
 		t.Error("unknown kind accepted")
+	}
+}
+
+// TestUnmarshalRejectsOldFormat builds a pre-version-byte (v1) envelope —
+// From, To, Seq, ReplyTo, kind, body, with no version byte and no trace —
+// and checks the decoder rejects it with a clean version error instead of
+// misparsing it.
+func TestUnmarshalRejectsOldFormat(t *testing.T) {
+	v1 := []byte{
+		0,                // From = site 0 (read as version byte by v2)
+		1,                // To = site 1
+		1,                // Seq = 1
+		0,                // ReplyTo = 0
+		byte(KindCommit), // kind
+		9,                // Commit.Txn = 9
+	}
+	_, err := Unmarshal(v1)
+	if err == nil {
+		t.Fatal("v1 envelope accepted by v2 decoder")
+	}
+	if !strings.Contains(err.Error(), "envelope version 0") {
+		t.Errorf("error does not identify the version mismatch: %v", err)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	for _, tr := range []uint64{0, 1, 42, 1 << 32, 1<<64 - 1} {
+		env := &Envelope{From: 0, To: 1, Seq: 9, Trace: tr, Body: &Commit{Txn: 3}}
+		got := roundTrip(t, env)
+		if got.Trace != tr {
+			t.Errorf("Trace %d round-tripped as %d", tr, got.Trace)
+		}
 	}
 }
 
@@ -152,12 +186,17 @@ func TestEnvelopeString(t *testing.T) {
 	if got := env.String(); got != want {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
+	env.Trace = 9
+	want = "site 0->site 1 #5 re#0 tr#9 commit"
+	if got := env.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
 }
 
 // Property: ClientTxn envelopes with arbitrary op lists survive the round
 // trip, and random buffers never panic Unmarshal.
 func TestQuickClientTxn(t *testing.T) {
-	prop := func(txn uint64, seq uint64, items []uint16, writes []bool, vals [][]byte) bool {
+	prop := func(txn uint64, seq uint64, trace uint64, items []uint16, writes []bool, vals [][]byte) bool {
 		var ops []core.Op
 		for i, it := range items {
 			w := i < len(writes) && writes[i]
@@ -174,7 +213,7 @@ func TestQuickClientTxn(t *testing.T) {
 				ops = append(ops, core.Read(core.ItemID(it)))
 			}
 		}
-		env := &Envelope{From: 3, To: 4, Seq: seq, Body: &ClientTxn{Txn: core.TxnID(txn), Ops: ops}}
+		env := &Envelope{From: 3, To: 4, Seq: seq, Trace: trace, Body: &ClientTxn{Txn: core.TxnID(txn), Ops: ops}}
 		got, err := Unmarshal(Marshal(env))
 		if err != nil {
 			return false

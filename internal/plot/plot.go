@@ -32,7 +32,11 @@ func Chart(title string, width, height int, series []Series) string {
 		height = 5
 	}
 
-	maxX, maxY := 0, 0.0
+	// The y scale spans [minY, maxY]. The baseline stays at zero for
+	// all-positive data (the paper's fail-lock counts), but series that
+	// dip negative (e.g. deltas between runs) extend the scale downward
+	// instead of collapsing onto the bottom row.
+	maxX, minY, maxY := 0, 0.0, 0.0
 	for _, s := range series {
 		if len(s.Y) > maxX {
 			maxX = len(s.Y)
@@ -41,13 +45,16 @@ func Chart(title string, width, height int, series []Series) string {
 			if y > maxY {
 				maxY = y
 			}
+			if y < minY {
+				minY = y
+			}
 		}
 	}
 	if maxX == 0 {
 		return title + "\n(no data)\n"
 	}
-	if maxY == 0 {
-		maxY = 1
+	if maxY == minY {
+		maxY = minY + 1
 	}
 
 	grid := make([][]byte, height)
@@ -61,7 +68,7 @@ func Chart(title string, width, height int, series []Series) string {
 			if maxX > 1 {
 				col = i * (width - 1) / (maxX - 1)
 			}
-			row := height - 1 - int(math.Round(y/maxY*float64(height-1)))
+			row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
 			if row < 0 {
 				row = 0
 			}
@@ -84,7 +91,7 @@ func Chart(title string, width, height int, series []Series) string {
 	}
 	// Plot rows with sparse y labels.
 	for r := 0; r < height; r++ {
-		yVal := maxY * float64(height-1-r) / float64(height-1)
+		yVal := minY + (maxY-minY)*float64(height-1-r)/float64(height-1)
 		if r == 0 || r == height-1 || r == height/2 {
 			fmt.Fprintf(&b, "%6.0f |", yVal)
 		} else {

@@ -59,6 +59,44 @@ func TestChartAllZero(t *testing.T) {
 	}
 }
 
+// TestChartNegativeValues is the regression test for negative series
+// collapsing onto the bottom row: the scale must extend below zero, the
+// minimum must sit on the bottom row, and the axis labels must show the
+// negative bound.
+func TestChartNegativeValues(t *testing.T) {
+	s := []Series{{Name: "delta", Y: []float64{-20, -10, 0, 10, 20}}}
+	out := Chart("dip", 20, 5, s)
+	if !strings.Contains(out, "-20") {
+		t.Errorf("negative axis label missing:\n%s", out)
+	}
+	var rows []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l)
+		}
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d plot rows, want 5:\n%s", len(rows), out)
+	}
+	// Max (20) on the top row, min (-20) on the bottom row, and the
+	// distinct values must not all collapse onto one row.
+	if !strings.Contains(rows[0], "*") {
+		t.Errorf("max not on top row:\n%s", out)
+	}
+	if !strings.Contains(rows[len(rows)-1], "*") {
+		t.Errorf("min not on bottom row:\n%s", out)
+	}
+	marked := 0
+	for _, r := range rows {
+		if strings.Contains(r, "*") {
+			marked++
+		}
+	}
+	if marked != 5 {
+		t.Errorf("5 evenly spaced values should cover all 5 rows, got %d:\n%s", marked, out)
+	}
+}
+
 func TestChartClampsTinyDims(t *testing.T) {
 	out := Chart("tiny", 1, 1, []Series{{Name: "s", Y: []float64{1}}})
 	if out == "" {

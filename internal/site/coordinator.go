@@ -1,10 +1,12 @@
 package site
 
 import (
+	"fmt"
 	"time"
 
 	"minraid/internal/core"
 	"minraid/internal/msg"
+	"minraid/internal/trace"
 	"minraid/internal/transport"
 	"minraid/internal/txn"
 )
@@ -20,6 +22,7 @@ func (s *Site) coordinate(env *msg.Envelope, body *msg.ClientTxn) {
 
 	start := time.Now()
 	t := txn.Txn{ID: body.Txn, Ops: body.Ops}
+	tr := env.Trace
 
 	// Concurrent mode: strict 2PL — shared locks on the read set,
 	// exclusive on the write set, held until the transaction completes.
@@ -35,6 +38,7 @@ func (s *Site) coordinate(env *msg.Envelope, body *msg.ClientTxn) {
 			s.mu.Unlock()
 			if up {
 				s.reg.Add(CounterAborts, 1)
+				s.emit(tr, trace.PhaseAbort, txn.AbortLockTimeout, start)
 				s.caller.Reply(env, &msg.TxnResult{
 					Txn: t.ID, AbortReason: txn.AbortLockTimeout,
 					ElapsedNanos: uint64(time.Since(start).Nanoseconds()),
@@ -45,7 +49,7 @@ func (s *Site) coordinate(env *msg.Envelope, body *msg.ClientTxn) {
 		defer lm.Release(t.ID)
 	}
 
-	res := s.executeTxn(t)
+	res := s.executeTxn(t, tr)
 	elapsed := time.Since(start)
 
 	s.mu.Lock()
@@ -67,8 +71,10 @@ func (s *Site) coordinate(env *msg.Envelope, body *msg.ClientTxn) {
 			s.reg.Observe(TimerCoordTxn, elapsed)
 		}
 		s.reg.Add(CounterCommits, 1)
+		s.emit(tr, trace.PhaseCoord, "committed", start)
 	} else {
 		s.reg.Add(CounterAborts, 1)
+		s.emit(tr, trace.PhaseAbort, res.AbortReason, start)
 	}
 	s.caller.Reply(env, &msg.TxnResult{
 		Txn:          res.Txn,
@@ -96,7 +102,7 @@ func (s *Site) coordinate(env *msg.Envelope, body *msg.ClientTxn) {
 // executeTxn is the coordinator's transaction body. The structure follows
 // Appendix A.1: copier transactions first, then reads, then the two-phase
 // commit of the written items.
-func (s *Site) executeTxn(t txn.Txn) txn.Result {
+func (s *Site) executeTxn(t txn.Txn, tr uint64) txn.Result {
 	res := txn.Result{Txn: t.ID}
 	if err := t.Validate(s.cfg.Items); err != nil {
 		res.AbortReason = txn.AbortInvalid
@@ -108,7 +114,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 	if s.pol.UsesFailLocks() && !s.cfg.DisableFailLockMaintenance {
 		stale := s.staleReadItems(t)
 		if len(stale) > 0 {
-			n, reason := s.runCopiers(stale, t.ID, false)
+			n, reason := s.runCopiers(stale, t.ID, false, tr)
 			res.Copiers += n
 			if reason != "" {
 				res.AbortReason = reason
@@ -121,7 +127,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 	if s.pol.LocalRead() {
 		// Partial replication: fetch items this site does not host from
 		// an up-to-date hosting site (read-one of an available copy).
-		remote, reason := s.remoteReads(t)
+		remote, reason := s.remoteReads(t, tr)
 		if reason != "" {
 			res.AbortReason = reason
 			return res
@@ -142,7 +148,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 			res.Reads = append(res.Reads, iv)
 		}
 	} else {
-		reads, ok := s.quorumRead(t)
+		reads, ok := s.quorumRead(t, tr)
 		if !ok {
 			res.AbortReason = txn.AbortNoQuorum
 			return res
@@ -200,7 +206,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 	var acked, nacked, silent []core.SiteID
 	var nackReason string
 	if len(targets) > 0 {
-		replies := s.caller.Multicall(targets, func(target core.SiteID) msg.Body {
+		replies := s.caller.MulticallT(tr, targets, func(target core.SiteID) msg.Body {
 			if s.replicas.IsFull() {
 				return &msg.Prepare{Txn: t.ID, Vector: vec.Records(), Writes: writes}
 			}
@@ -231,8 +237,8 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 	if (s.pol.AbortOnMissingAck() && (len(silent) > 0 || len(nacked) > 0)) || len(acked) < required {
 		// "abort database transaction; run control type 2 transaction to
 		// announce failure" (Appendix A.1).
-		s.sendAbort(acked, t.ID)
-		s.announceFailure(s.perceivedUp(vec, silent))
+		s.sendAbort(acked, t.ID, tr)
+		s.announceFailure(s.perceivedUp(vec, silent), tr)
 		switch {
 		case len(silent) > 0:
 			res.AbortReason = txn.AbortParticipantDown
@@ -259,7 +265,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 	}
 	s.mu.Unlock()
 	if staleRecovery {
-		s.sendAbort(acked, t.ID)
+		s.sendAbort(acked, t.ID, tr)
 		res.AbortReason = txn.AbortStaleSession
 		return res
 	}
@@ -289,7 +295,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 	// transaction still commits (Appendix A.1).
 	var lost []core.SiteID
 	if len(acked) > 0 {
-		replies := s.caller.Multicall(acked, func(core.SiteID) msg.Body {
+		replies := s.caller.MulticallT(tr, acked, func(core.SiteID) msg.Body {
 			return &msg.Commit{Txn: t.ID, Versions: commitVersions}
 		})
 		for _, id := range acked {
@@ -298,7 +304,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 			}
 		}
 		if len(lost) > 0 {
-			s.announceFailure(s.perceivedUp(vec, lost))
+			s.announceFailure(s.perceivedUp(vec, lost), tr)
 		}
 	}
 
@@ -334,7 +340,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 	// everywhere (Appendix A.1 places the fail-lock update after the
 	// type-2 for exactly this case).
 	if len(lost) > 0 {
-		s.markLostParticipants(lost, writes)
+		s.markLostParticipants(lost, writes, tr)
 	}
 
 	res.Committed = true
@@ -343,7 +349,7 @@ func (s *Site) executeTxn(t txn.Txn) txn.Result {
 
 // markLostParticipants sets fail-locks for the given sites on the written
 // items, locally and at every operational site, after a phase-two loss.
-func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersion) {
+func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersion, tr uint64) {
 	items := make([]core.ItemID, 0, len(writes))
 	for _, iv := range writes {
 		items = append(items, iv.Item)
@@ -361,7 +367,7 @@ func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersio
 	s.mu.Unlock()
 	for _, site := range lost {
 		for _, target := range targets {
-			s.caller.Call(target, &msg.ClearFailLocks{Site: site, Items: items, Set: true})
+			s.caller.CallT(tr, target, &msg.ClearFailLocks{Site: site, Items: items, Set: true})
 		}
 	}
 }
@@ -369,7 +375,7 @@ func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersio
 // remoteReads fetches fresh copies of the transaction's read items this
 // site does not host, from up-to-date hosting sites. It returns an empty
 // map under full replication. On failure it returns the abort reason.
-func (s *Site) remoteReads(t txn.Txn) (map[core.ItemID]core.ItemVersion, string) {
+func (s *Site) remoteReads(t txn.Txn, tr uint64) (map[core.ItemID]core.ItemVersion, string) {
 	if s.replicas.IsFull() {
 		return nil, ""
 	}
@@ -397,12 +403,12 @@ func (s *Site) remoteReads(t txn.Txn) (map[core.ItemID]core.ItemVersion, string)
 
 	out := make(map[core.ItemID]core.ItemVersion)
 	for _, donor := range order {
-		reply, err := s.caller.Call(donor, &msg.ReadReq{Txn: t.ID, Items: byDonor[donor], RequireFresh: true})
+		reply, err := s.caller.CallT(tr, donor, &msg.ReadReq{Txn: t.ID, Items: byDonor[donor], RequireFresh: true})
 		if err == transport.ErrCancelled {
 			return nil, txn.AbortSiteDown
 		}
 		if err != nil {
-			s.announceFailure([]core.SiteID{donor})
+			s.announceFailure([]core.SiteID{donor}, tr)
 			return nil, txn.AbortDonorDown
 		}
 		resp := reply.Body.(*msg.ReadResp)
@@ -452,7 +458,7 @@ func (s *Site) staleReadItems(t txn.Txn) []core.ItemID {
 // bestEffort is set, an abort reason when a copy could not be obtained.
 // Batch refresh (two-step recovery) uses bestEffort: items without a donor
 // are skipped rather than failing the pass.
-func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool) (int, string) {
+func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool, tr uint64) (int, string) {
 	// Choose a donor per item: an operational site whose copy carries no
 	// fail-lock.
 	s.mu.Lock()
@@ -487,14 +493,15 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool) (
 			// copier shows in the counters.
 			s.reg.Add(CounterBatchCopiers, 1)
 		}
-		reply, err := s.caller.Call(donor, &msg.CopyRequest{Txn: id, Items: reqItems})
+		copierStart := time.Now()
+		reply, err := s.caller.CallT(tr, donor, &msg.CopyRequest{Txn: id, Items: reqItems})
 		if err == transport.ErrCancelled {
 			return count, txn.AbortSiteDown
 		}
 		if err != nil {
 			// "site to which copy request sent is now down": abort and
 			// announce (Appendix A.1).
-			s.announceFailure([]core.SiteID{donor})
+			s.announceFailure([]core.SiteID{donor}, tr)
 			if bestEffort {
 				continue
 			}
@@ -520,11 +527,12 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool) (
 		}
 		s.stats.CopiersRequested++
 		s.mu.Unlock()
+		s.emit(tr, trace.PhaseCopier, fmt.Sprintf("donor=%d items=%d", donor, len(reqItems)), copierStart)
 		count++
 	}
 
 	if len(refreshed) > 0 {
-		s.clearFailLocksEverywhere(refreshed)
+		s.clearFailLocksEverywhere(refreshed, tr)
 	}
 	return count, ""
 }
@@ -533,14 +541,14 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool) (
 // other operational sites of the fail-lock bits cleared by copier
 // transactions (§1.2). Failures are announced but do not abort: the
 // refreshed copies are already installed.
-func (s *Site) clearFailLocksEverywhere(items []core.ItemID) {
+func (s *Site) clearFailLocksEverywhere(items []core.ItemID, tr uint64) {
 	s.mu.Lock()
 	targets := s.vec.Operational(s.cfg.ID)
 	s.mu.Unlock()
 	var lost []core.SiteID
 	for _, target := range targets {
 		start := time.Now()
-		_, err := s.caller.Call(target, &msg.ClearFailLocks{Site: s.cfg.ID, Items: items})
+		_, err := s.caller.CallT(tr, target, &msg.ClearFailLocks{Site: s.cfg.ID, Items: items})
 		if err == transport.ErrCancelled {
 			return
 		}
@@ -549,16 +557,17 @@ func (s *Site) clearFailLocksEverywhere(items []core.ItemID) {
 			continue
 		}
 		s.reg.Observe(TimerClearFailLocks, time.Since(start))
+		s.emit(tr, trace.PhaseClearFL, fmt.Sprintf("target=%d items=%d", target, len(items)), start)
 	}
 	if len(lost) > 0 {
-		s.announceFailure(lost)
+		s.announceFailure(lost, tr)
 	}
 }
 
 // quorumRead collects ReadQuorum versioned copies of every read item
 // (counting the local copy) and returns, per read operation, the highest
 // version observed. Used only by the quorum baseline.
-func (s *Site) quorumRead(t txn.Txn) ([]core.ItemVersion, bool) {
+func (s *Site) quorumRead(t txn.Txn, tr uint64) ([]core.ItemVersion, bool) {
 	readSet := core.ReadSet(t.Ops)
 	if len(readSet) == 0 {
 		return nil, true
@@ -582,7 +591,7 @@ func (s *Site) quorumRead(t txn.Txn) ([]core.ItemVersion, bool) {
 				targets = append(targets, id)
 			}
 		}
-		replies := s.caller.Multicall(targets, func(core.SiteID) msg.Body {
+		replies := s.caller.MulticallT(tr, targets, func(core.SiteID) msg.Body {
 			return &msg.ReadReq{Txn: t.ID, Items: readSet}
 		})
 		for _, reply := range replies {
@@ -614,9 +623,9 @@ func (s *Site) quorumRead(t txn.Txn) ([]core.ItemVersion, bool) {
 
 // sendAbort tells the sites that acked phase one to discard their staged
 // copy updates.
-func (s *Site) sendAbort(acked []core.SiteID, id core.TxnID) {
+func (s *Site) sendAbort(acked []core.SiteID, id core.TxnID, tr uint64) {
 	for _, target := range acked {
-		s.caller.Send(target, &msg.Abort{Txn: id})
+		s.caller.SendT(tr, target, &msg.Abort{Txn: id})
 	}
 }
 

@@ -1,11 +1,13 @@
 package site
 
 import (
+	"fmt"
 	"time"
 
 	"minraid/internal/core"
 	"minraid/internal/lockmgr"
 	"minraid/internal/msg"
+	"minraid/internal/trace"
 	"minraid/internal/txn"
 )
 
@@ -56,7 +58,7 @@ func (s *Site) handle(env *msg.Envelope) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.recoverSite()
+			s.recoverSite(env.Trace)
 			s.mu.Lock()
 			resp := s.statusRespLocked(false)
 			s.mu.Unlock()
@@ -139,7 +141,7 @@ func (s *Site) handlePrepare(env *msg.Envelope, body *msg.Prepare) {
 			return
 		}
 	}
-	st := &stagedTxn{writes: body.Writes, maintOnly: body.MaintOnly, vector: body.Vector, start: time.Now(), coord: env.From, lm: lm}
+	st := &stagedTxn{writes: body.Writes, maintOnly: body.MaintOnly, vector: body.Vector, start: time.Now(), coord: env.From, trace: env.Trace, lm: lm}
 	s.staged[body.Txn] = st
 	// Appendix A.2's third arm: "else /* coordinating site has failed */
 	// run control type 2 transaction to announce failure". A participant
@@ -150,6 +152,7 @@ func (s *Site) handlePrepare(env *msg.Envelope, body *msg.Prepare) {
 		s.coordinatorLost(body.Txn)
 	})
 	s.caller.Reply(env, &msg.PrepareAck{Txn: body.Txn, OK: true})
+	s.emit(env.Trace, trace.PhasePrepare, fmt.Sprintf("writes=%d", len(body.Writes)), st.start)
 }
 
 // decisionTimeout is how long a participant waits for the coordinator's
@@ -170,10 +173,11 @@ func (s *Site) coordinatorLost(id core.TxnID) {
 	st.finish(id)
 	coord := st.coord
 	s.mu.Unlock()
+	tr := st.trace
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.announceFailure([]core.SiteID{coord})
+		s.announceFailure([]core.SiteID{coord}, tr)
 	}()
 }
 
@@ -219,6 +223,7 @@ func (s *Site) handleCommit(env *msg.Envelope, body *msg.Commit) {
 	armed := s.batchArmed
 	s.mu.Unlock()
 	s.reg.Observe(TimerPartTxn, time.Since(st.start))
+	s.emit(env.Trace, trace.PhaseCommit, fmt.Sprintf("writes=%d", len(st.writes)), st.start)
 	s.caller.Reply(env, &msg.CommitAck{Txn: body.Txn})
 	if armed {
 		// A commit may have dropped the fail-locked fraction below the
@@ -301,6 +306,7 @@ func (s *Site) handleCopyRequest(env *msg.Envelope, body *msg.CopyRequest) {
 	s.mu.Unlock()
 	s.caller.Reply(env, &msg.CopyResponse{Txn: body.Txn, OK: true, Items: items})
 	s.reg.Observe(TimerCopyServe, time.Since(start))
+	s.emit(env.Trace, trace.PhaseCopyServe, fmt.Sprintf("items=%d", len(items)), start)
 }
 
 // handleClearFailLocks applies the special transaction that propagates
@@ -308,6 +314,7 @@ func (s *Site) handleCopyRequest(env *msg.Envelope, body *msg.CopyRequest) {
 // conservative fail-lock sets for a participant lost between commit
 // phases.
 func (s *Site) handleClearFailLocks(env *msg.Envelope, body *msg.ClearFailLocks) {
+	start := time.Now()
 	s.mu.Lock()
 	for _, item := range body.Items {
 		if int(item) >= s.cfg.Items || int(body.Site) >= s.cfg.Sites {
@@ -324,6 +331,11 @@ func (s *Site) handleClearFailLocks(env *msg.Envelope, body *msg.ClearFailLocks)
 	}
 	s.mu.Unlock()
 	s.caller.Reply(env, &msg.ClearFailLocksAck{Txn: body.Txn})
+	mode := "clear"
+	if body.Set {
+		mode = "set"
+	}
+	s.emit(env.Trace, trace.PhaseClearFL, fmt.Sprintf("%s site=%d items=%d", mode, body.Site, len(body.Items)), start)
 }
 
 // handleCtrlRecover is a type-1 control transaction at an operational
@@ -345,12 +357,14 @@ func (s *Site) handleCtrlRecover(env *msg.Envelope, body *msg.CtrlRecover) {
 	s.mu.Unlock()
 	s.caller.Reply(env, resp)
 	s.reg.Observe(TimerCtrl1Operational, time.Since(start))
+	s.emit(env.Trace, trace.PhaseCtrl1, "operational", start)
 }
 
 // handleCtrlFail is a type-2 control transaction at a receiving site: mark
 // the announced sites down, unless this site knows of a newer session for
 // them (the announcement is stale).
 func (s *Site) handleCtrlFail(env *msg.Envelope, body *msg.CtrlFail) {
+	start := time.Now()
 	s.mu.Lock()
 	for _, f := range body.Failed {
 		if f.Site == s.cfg.ID {
@@ -362,9 +376,10 @@ func (s *Site) handleCtrlFail(env *msg.Envelope, body *msg.CtrlFail) {
 	}
 	s.mu.Unlock()
 	s.caller.Reply(env, &msg.CtrlFailAck{})
+	s.emit(env.Trace, trace.PhaseCtrl2, fmt.Sprintf("failed=%d", len(body.Failed)), start)
 	if s.cfg.EnableType3 {
 		s.wg.Add(1)
-		go s.maybeReplicate()
+		go s.maybeReplicate(env.Trace)
 	}
 }
 
@@ -396,6 +411,7 @@ func (s *Site) handleCtrlReplicate(env *msg.Envelope, body *msg.CtrlReplicate) {
 // replicated ROWAA (RequireFresh: this site must host the item and its
 // copy must not be fail-locked).
 func (s *Site) handleReadReq(env *msg.Envelope, body *msg.ReadReq) {
+	start := time.Now()
 	s.mu.Lock()
 	if s.state != core.StatusUp {
 		s.mu.Unlock()
@@ -419,6 +435,7 @@ func (s *Site) handleReadReq(env *msg.Envelope, body *msg.ReadReq) {
 	}
 	s.mu.Unlock()
 	s.caller.Reply(env, &msg.ReadResp{Txn: body.Txn, OK: true, Items: items})
+	s.emit(env.Trace, trace.PhaseRead, fmt.Sprintf("items=%d", len(items)), start)
 }
 
 // handleStatusReq serves the managing site's instrumentation probe. It is

@@ -5,6 +5,7 @@ import (
 
 	"minraid/internal/core"
 	"minraid/internal/msg"
+	"minraid/internal/trace"
 )
 
 // failNow simulates a site failure: the site stops participating in any
@@ -43,7 +44,7 @@ func (s *Site) failNow() {
 // because no operational site could supply the vector and fail-locks —
 // the situation §3.2 calls "a site's recovery being blocked by the failure
 // of other sites".
-func (s *Site) recoverSite() bool {
+func (s *Site) recoverSite(tr uint64) bool {
 	start := time.Now()
 	s.mu.Lock()
 	if s.state == core.StatusUp {
@@ -76,10 +77,11 @@ func (s *Site) recoverSite() bool {
 		s.state = core.StatusUp
 		s.mu.Unlock()
 		s.reg.Observe(TimerCtrl1Recovering, time.Since(start))
+		s.emit(tr, trace.PhaseCtrl1, "recovering", start)
 		return true
 	}
 
-	replies := s.caller.Multicall(targets, func(core.SiteID) msg.Body {
+	replies := s.caller.MulticallT(tr, targets, func(core.SiteID) msg.Body {
 		return &msg.CtrlRecover{Site: s.cfg.ID, Session: session}
 	})
 
@@ -130,9 +132,10 @@ func (s *Site) recoverSite() bool {
 	}
 	s.mu.Unlock()
 	s.reg.Observe(TimerCtrl1Recovering, time.Since(start))
+	s.emit(tr, trace.PhaseCtrl1, "recovering", start)
 
 	if armBatch {
-		s.maybeBatchRefresh()
+		s.maybeBatchRefresh(tr)
 	}
 	return true
 }
@@ -140,7 +143,7 @@ func (s *Site) recoverSite() bool {
 // announceFailure runs a type-2 control transaction for the given sites:
 // mark them down locally, then announce to each remaining operational site
 // so it updates its nominal session vector (§1.1).
-func (s *Site) announceFailure(failed []core.SiteID) {
+func (s *Site) announceFailure(failed []core.SiteID, tr uint64) {
 	if len(failed) == 0 {
 		return
 	}
@@ -163,15 +166,16 @@ func (s *Site) announceFailure(failed []core.SiteID) {
 
 	for _, target := range targets {
 		start := time.Now()
-		if _, err := s.caller.Call(target, &msg.CtrlFail{Failed: fails}); err == nil {
+		if _, err := s.caller.CallT(tr, target, &msg.CtrlFail{Failed: fails}); err == nil {
 			// The paper's 68 ms covers "the sending of the failure
 			// announcement to a particular site and the updating of the
 			// session vector at that site".
 			s.reg.Observe(TimerCtrl2, time.Since(start))
+			s.emit(tr, trace.PhaseCtrl2, "announce", start)
 		}
 	}
 	if s.cfg.EnableType3 {
-		s.maybeReplicate0()
+		s.maybeReplicate0(tr)
 	}
 }
 
@@ -181,7 +185,7 @@ func (s *Site) announceFailure(failed []core.SiteID) {
 // batch with copier transactions, instead of waiting for reads to demand
 // them. Runs under the transaction gate so it serializes with database
 // transactions.
-func (s *Site) maybeBatchRefresh() {
+func (s *Site) maybeBatchRefresh(tr uint64) {
 	s.mu.Lock()
 	if !s.batchArmed || s.state != core.StatusUp {
 		s.mu.Unlock()
@@ -213,7 +217,7 @@ func (s *Site) maybeBatchRefresh() {
 	}
 	// The batch copiers count themselves (inside runCopiers, before each
 	// call) so the counter is never behind the fail-lock drain.
-	s.runCopiers(locked, core.NoTxn, true)
+	s.runCopiers(locked, core.NoTxn, true, tr)
 	s.reg.Observe(TimerBatchRefresh, time.Since(start))
 }
 
@@ -224,15 +228,15 @@ func (s *Site) checkBatchTrigger() {
 	armed := s.batchArmed
 	s.mu.Unlock()
 	if armed {
-		s.maybeBatchRefresh()
+		s.maybeBatchRefresh(0)
 	}
 }
 
 // maybeReplicate runs the paper's proposed type-3 control transaction from
 // a spawned goroutine.
-func (s *Site) maybeReplicate() {
+func (s *Site) maybeReplicate(tr uint64) {
 	defer s.wg.Done()
-	s.maybeReplicate0()
+	s.maybeReplicate0(tr)
 }
 
 // maybeReplicate0 scans for items whose only up-to-date copy among
@@ -242,7 +246,7 @@ func (s *Site) maybeReplicate() {
 // replicated database the "back-up site" is an operational site whose own
 // copy is fail-locked; installing the fresh copy clears that fail-lock,
 // and the special clear transaction propagates the news.
-func (s *Site) maybeReplicate0() {
+func (s *Site) maybeReplicate0(tr uint64) {
 	s.mu.Lock()
 	if s.state != core.StatusUp {
 		s.mu.Unlock()
@@ -289,7 +293,7 @@ func (s *Site) maybeReplicate0() {
 	}
 
 	start := time.Now()
-	reply, err := s.caller.Call(backup, &msg.CtrlReplicate{Items: endangered})
+	reply, err := s.caller.CallT(tr, backup, &msg.CtrlReplicate{Items: endangered})
 	if err != nil || !reply.Body.(*msg.CtrlReplicateAck).OK {
 		return
 	}
@@ -307,7 +311,8 @@ func (s *Site) maybeReplicate0() {
 	s.mu.Unlock()
 	// Propagate the backup site's refreshed status.
 	for _, target := range targets {
-		s.caller.Call(target, &msg.ClearFailLocks{Site: backup, Items: items})
+		s.caller.CallT(tr, target, &msg.ClearFailLocks{Site: backup, Items: items})
 	}
 	s.reg.Observe(TimerCtrl3, time.Since(start))
+	s.emit(tr, trace.PhaseCtrl3, "backup", start)
 }

@@ -33,6 +33,7 @@ import (
 	"minraid/internal/msg"
 	"minraid/internal/policy"
 	"minraid/internal/storage"
+	"minraid/internal/trace"
 	"minraid/internal/transport"
 )
 
@@ -112,6 +113,10 @@ type Config struct {
 	// Metrics receives timing observations; nil allocates a private
 	// registry.
 	Metrics *metrics.Registry
+	// Tracer receives structured trace events for the protocol phases
+	// this site executes. Nil disables tracing (all emit calls are
+	// no-ops on a nil recorder).
+	Tracer *trace.Recorder
 	// Replicas assigns items to hosting sites. Nil means full
 	// replication, the paper's assumption 4. Partial replication is
 	// supported for the ROWAA policy only: a coordinator that hosts no
@@ -209,6 +214,7 @@ type stagedTxn struct {
 	vector []core.SiteInfo
 	start  time.Time        // start of participation, for TimerPartTxn
 	coord  core.SiteID      // the coordinator, for Appendix A.2's failure arm
+	trace  uint64           // trace ID carried by the prepare envelope
 	timer  *time.Timer      // fires if no phase-two decision arrives
 	lm     *lockmgr.Manager // holds this txn's X locks (concurrent mode)
 }
@@ -235,6 +241,7 @@ type Site struct {
 	ep       transport.Endpoint
 	caller   *transport.Caller
 	reg      *metrics.Registry
+	tracer   *trace.Recorder
 	replicas *core.ReplicaMap
 
 	mu      sync.Mutex
@@ -282,6 +289,7 @@ func New(cfg Config, net transport.Network) (*Site, error) {
 		ep:       ep,
 		caller:   transport.NewCaller(ep, cfg.AckTimeout),
 		reg:      cfg.Metrics,
+		tracer:   cfg.Tracer,
 		replicas: cfg.Replicas,
 		state:    core.StatusUp,
 		session:  1,
@@ -323,6 +331,15 @@ func (s *Site) lockManager() *lockmgr.Manager {
 
 // ID returns the site's identity.
 func (s *Site) ID() core.SiteID { return s.cfg.ID }
+
+// emit records one completed protocol phase into the tracer (a no-op
+// when tracing is disabled or the message carried no trace ID).
+func (s *Site) emit(tr uint64, phase, kind string, start time.Time) {
+	if tr == 0 {
+		return
+	}
+	s.tracer.Emit(trace.ID(tr), s.cfg.ID, phase, kind, start)
+}
 
 // Metrics returns the site's metrics registry.
 func (s *Site) Metrics() *metrics.Registry { return s.reg }

@@ -58,22 +58,34 @@ func (c *Caller) Timeout() time.Duration { return c.timeout }
 
 // Send transmits a fire-and-forget message.
 func (c *Caller) Send(to core.SiteID, body msg.Body) error {
-	c.sent.Add(1)
-	return c.ep.Send(&msg.Envelope{To: to, Seq: c.seq.Add(1), Body: body})
+	return c.SendT(0, to, body)
 }
 
-// Reply transmits a response correlated to req.
+// SendT is Send with a trace ID stamped on the envelope.
+func (c *Caller) SendT(trace uint64, to core.SiteID, body msg.Body) error {
+	c.sent.Add(1)
+	return c.ep.Send(&msg.Envelope{To: to, Seq: c.seq.Add(1), Trace: trace, Body: body})
+}
+
+// Reply transmits a response correlated to req. The request's trace ID
+// is carried back on the reply so both directions of an exchange belong
+// to the same span.
 func (c *Caller) Reply(req *msg.Envelope, body msg.Body) error {
 	c.sent.Add(1)
-	return c.ep.Send(&msg.Envelope{To: req.From, Seq: c.seq.Add(1), ReplyTo: req.Seq, Body: body})
+	return c.ep.Send(&msg.Envelope{To: req.From, Seq: c.seq.Add(1), ReplyTo: req.Seq, Trace: req.Trace, Body: body})
 }
 
 // Call sends body to to and waits for the correlated reply.
 func (c *Caller) Call(to core.SiteID, body msg.Body) (*msg.Envelope, error) {
+	return c.CallT(0, to, body)
+}
+
+// CallT is Call with a trace ID stamped on the request envelope.
+func (c *Caller) CallT(trace uint64, to core.SiteID, body msg.Body) (*msg.Envelope, error) {
 	seq, ch := c.register()
 	defer c.unregister(seq)
 	c.sent.Add(1)
-	if err := c.ep.Send(&msg.Envelope{To: to, Seq: seq, Body: body}); err != nil {
+	if err := c.ep.Send(&msg.Envelope{To: to, Seq: seq, Trace: trace, Body: body}); err != nil {
 		return nil, err
 	}
 	return c.await(ch, time.NewTimer(c.timeout))
@@ -84,6 +96,11 @@ func (c *Caller) Call(to core.SiteID, body msg.Body) (*msg.Envelope, error) {
 // reply; a missing entry means that target did not answer in time (or the
 // call was cancelled).
 func (c *Caller) Multicall(targets []core.SiteID, mk func(core.SiteID) msg.Body) map[core.SiteID]*msg.Envelope {
+	return c.MulticallT(0, targets, mk)
+}
+
+// MulticallT is Multicall with a trace ID stamped on every request.
+func (c *Caller) MulticallT(trace uint64, targets []core.SiteID, mk func(core.SiteID) msg.Body) map[core.SiteID]*msg.Envelope {
 	type slot struct {
 		id  core.SiteID
 		seq uint64
@@ -95,7 +112,7 @@ func (c *Caller) Multicall(targets []core.SiteID, mk func(core.SiteID) msg.Body)
 		slots = append(slots, slot{id: id, seq: seq, ch: ch})
 		c.sent.Add(1)
 		// A send error (unknown site) just leaves the slot unanswered.
-		_ = c.ep.Send(&msg.Envelope{To: id, Seq: seq, Body: mk(id)})
+		_ = c.ep.Send(&msg.Envelope{To: id, Seq: seq, Trace: trace, Body: mk(id)})
 	}
 	out := make(map[core.SiteID]*msg.Envelope, len(targets))
 	timer := time.NewTimer(c.timeout)

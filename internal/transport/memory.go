@@ -8,6 +8,7 @@ import (
 
 	"minraid/internal/core"
 	"minraid/internal/msg"
+	"minraid/internal/trace"
 )
 
 // MemoryConfig configures an in-process network.
@@ -40,8 +41,9 @@ type Memory struct {
 	credits   map[linkKey]int // remaining deliveries before the link drops
 	closed    bool
 
-	sent atomic.Uint64
-	wg   sync.WaitGroup
+	sent   atomic.Uint64
+	tracer atomic.Pointer[trace.Recorder]
+	wg     sync.WaitGroup
 }
 
 type linkKey struct{ from, to core.SiteID }
@@ -109,6 +111,10 @@ func (m *Memory) Close() error {
 // since the network was created. Experiments use it to report message
 // complexity alongside elapsed time.
 func (m *Memory) MessagesSent() uint64 { return m.sent.Load() }
+
+// SetTracer installs a recorder that counts outbound messages per wire
+// kind. A nil recorder disables counting.
+func (m *Memory) SetTracer(r *trace.Recorder) { m.tracer.Store(r) }
 
 // SetLinkDown makes the directed link from->to silently drop messages
 // (true) or deliver normally (false). Used by tests and partition studies;
@@ -216,6 +222,7 @@ func (ep *memEndpoint) Send(env *msg.Envelope) error {
 		return fmt.Errorf("%w: %s", ErrUnknownSite, env.To)
 	}
 	env.From = ep.id
+	ep.net.tracer.Load().CountMessage(env.Body.Kind().String())
 	return ep.net.send(ep.id, env.To, msg.Marshal(env))
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"minraid/internal/core"
 	"minraid/internal/msg"
+	"minraid/internal/trace"
 	"minraid/internal/wire"
 )
 
@@ -30,8 +31,15 @@ type TCPConfig struct {
 	RetryInterval time.Duration
 	// MaxRetries bounds delivery attempts per message before it is
 	// dropped (the destination is down; the protocol's timeouts handle
-	// the rest). Default 10.
+	// the rest). Values <= 0 select the default of 10; to disable
+	// retries set DisableRetry.
 	MaxRetries int
+	// DisableRetry makes every message get exactly one delivery attempt,
+	// overriding MaxRetries. (MaxRetries cannot express this: its zero
+	// value means "default".)
+	DisableRetry bool
+	// Tracer, when non-nil, counts outbound messages per wire kind.
+	Tracer *trace.Recorder
 }
 
 func (c *TCPConfig) fillDefaults() {
@@ -41,8 +49,11 @@ func (c *TCPConfig) fillDefaults() {
 	if c.RetryInterval == 0 {
 		c.RetryInterval = 200 * time.Millisecond
 	}
-	if c.MaxRetries == 0 {
+	if c.MaxRetries <= 0 {
 		c.MaxRetries = 10
+	}
+	if c.DisableRetry {
+		c.MaxRetries = 1
 	}
 }
 
@@ -275,6 +286,7 @@ func (ep *tcpEndpoint) ID() core.SiteID { return ep.id }
 // Send implements Endpoint.
 func (ep *tcpEndpoint) Send(env *msg.Envelope) error {
 	env.From = ep.id
+	ep.net.cfg.Tracer.CountMessage(env.Body.Kind().String())
 	if env.To == ep.id {
 		// Loopback without touching the socket layer, but still through
 		// the codec for isolation.

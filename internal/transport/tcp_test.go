@@ -210,6 +210,127 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	}
 }
 
+func TestTCPRetryConfigSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  TCPConfig
+		want int
+	}{
+		{"zero means default", TCPConfig{}, 10},
+		{"negative means default", TCPConfig{MaxRetries: -5}, 10},
+		{"explicit value kept", TCPConfig{MaxRetries: 3}, 3},
+		{"disable overrides default", TCPConfig{DisableRetry: true}, 1},
+		{"disable overrides explicit", TCPConfig{MaxRetries: 7, DisableRetry: true}, 1},
+	}
+	for _, tc := range cases {
+		tc.cfg.fillDefaults()
+		if tc.cfg.MaxRetries != tc.want {
+			t.Errorf("%s: MaxRetries = %d, want %d", tc.name, tc.cfg.MaxRetries, tc.want)
+		}
+	}
+}
+
+// TestTCPNegativeMaxRetriesStillDelivers is the regression test for the
+// old behaviour where a negative MaxRetries made the writer drop every
+// message without a single attempt.
+func TestTCPNegativeMaxRetriesStillDelivers(t *testing.T) {
+	nets := make([]*TCP, 2)
+	addrs := map[core.SiteID]string{}
+	for i := 0; i < 2; i++ {
+		id := core.SiteID(i)
+		tn, err := NewTCP(TCPConfig{
+			Self:          id,
+			Addrs:         map[core.SiteID]string{id: "127.0.0.1:0"},
+			RetryInterval: 20 * time.Millisecond,
+			MaxRetries:    -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tn.Close()
+		nets[i] = tn
+		addrs[id] = tn.Addr()
+	}
+	for i := 0; i < 2; i++ {
+		for id, a := range addrs {
+			nets[i].SetAddr(id, a)
+		}
+	}
+	a, _ := nets[0].Endpoint(0)
+	b, _ := nets[1].Endpoint(1)
+	if err := a.Send(commitEnv(1, 77, 1)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *msg.Envelope, 1)
+	go func() {
+		if env, ok := b.Recv(); ok {
+			done <- env
+		}
+	}()
+	select {
+	case env := <-done:
+		if env.Body.(*msg.Commit).Txn != 77 {
+			t.Errorf("got %v", env)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message with MaxRetries=-1 never delivered")
+	}
+}
+
+// TestTCPDisableRetryDelivers checks single-attempt mode still delivers
+// when the peer is reachable, and drops (rather than blocks) when it is
+// not.
+func TestTCPDisableRetryDelivers(t *testing.T) {
+	id0, id1 := core.SiteID(0), core.SiteID(1)
+	tn1, err := NewTCP(TCPConfig{Self: id1, Addrs: map[core.SiteID]string{id1: "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn1.Close()
+	tn0, err := NewTCP(TCPConfig{
+		Self: id0,
+		Addrs: map[core.SiteID]string{
+			id0: "127.0.0.1:0",
+			id1: tn1.Addr(),
+			2:   "127.0.0.1:1", // port 1: nothing listens there
+		},
+		DialTimeout:   200 * time.Millisecond,
+		RetryInterval: 10 * time.Millisecond,
+		DisableRetry:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn0.Close()
+	tn1.SetAddr(id0, tn0.Addr())
+
+	a, _ := tn0.Endpoint(id0)
+	b, _ := tn1.Endpoint(id1)
+
+	// An unreachable peer: the single attempt fails and the writer moves
+	// on without stalling the queue for later messages to other peers.
+	if err := a.Send(commitEnv(2, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(commitEnv(1, 99, 2)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan core.TxnID, 1)
+	go func() {
+		if env, ok := b.Recv(); ok {
+			done <- env.Body.(*msg.Commit).Txn
+		}
+	}()
+	select {
+	case txn := <-done:
+		if txn != 99 {
+			t.Errorf("got txn %d", txn)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reachable peer not reached in single-attempt mode")
+	}
+}
+
 func TestTCPListenFailure(t *testing.T) {
 	if _, err := NewTCP(TCPConfig{Self: 0, Addrs: map[core.SiteID]string{0: "256.0.0.1:bad"}}); err == nil {
 		t.Error("bad listen address accepted")

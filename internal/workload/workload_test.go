@@ -217,3 +217,70 @@ func TestGeneratorNames(t *testing.T) {
 		t.Error("read-fraction variant not reflected in name")
 	}
 }
+
+// TestUniformClampsParameters is the regression test for out-of-range
+// generator parameters: a negative read fraction used to make every
+// operation a write silently, and non-positive Items/MaxOps panicked
+// inside rand.Intn.
+func TestUniformClampsParameters(t *testing.T) {
+	// Constructor clamps.
+	g := NewUniform(0, -3, 1)
+	if g.Items != 1 || g.MaxOps != 1 {
+		t.Errorf("NewUniform(0,-3) = items %d maxops %d, want 1 1", g.Items, g.MaxOps)
+	}
+	ops := g.Next(1)
+	if len(ops) != 1 || ops[0].Item != 0 {
+		t.Errorf("clamped generator produced %v", ops)
+	}
+
+	// Next re-clamps fields set after construction (the experiment
+	// harness assigns ReadFraction directly).
+	g = NewUniform(10, 4, 1)
+	g.ReadFraction = 1.7
+	for i := 0; i < 50; i++ {
+		for _, op := range g.Next(core.TxnID(i)) {
+			if op.Kind != core.OpRead {
+				t.Fatalf("ReadFraction>1 generated a write: %v", op)
+			}
+		}
+	}
+	g.ReadFraction = -0.3
+	for i := 0; i < 50; i++ {
+		for _, op := range g.Next(core.TxnID(i)) {
+			if op.Kind != core.OpWrite {
+				t.Fatalf("ReadFraction<0 generated a read: %v", op)
+			}
+		}
+	}
+	g.Items, g.MaxOps = -5, 0
+	if ops := g.Next(99); len(ops) != 1 || ops[0].Item != 0 {
+		t.Errorf("negative field values not re-clamped: %v", ops)
+	}
+}
+
+// TestHotColdClampsParameters covers the skewed generator's bounds: a hot
+// set larger than the database, and an empty cold set.
+func TestHotColdClampsParameters(t *testing.T) {
+	g := NewHotCold(5, 50, 0, 1)
+	if g.HotItems != 5 || g.MaxOps != 1 {
+		t.Errorf("NewHotCold(5,50,0) = hot %d maxops %d, want 5 1", g.HotItems, g.MaxOps)
+	}
+	// Hot set == database: every op must stay in range without panicking
+	// on an empty cold set.
+	for i := 0; i < 100; i++ {
+		for _, op := range g.Next(core.TxnID(i)) {
+			if int(op.Item) >= g.Items {
+				t.Fatalf("item %d out of range", op.Item)
+			}
+		}
+	}
+	g.HotFraction, g.ReadFraction = 2.0, -1.0
+	g.HotItems = -2
+	for i := 0; i < 50; i++ {
+		for _, op := range g.Next(core.TxnID(i)) {
+			if op.Kind != core.OpWrite || op.Item != 0 {
+				t.Fatalf("clamped hot/read fractions violated: %v", op)
+			}
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"minraid/internal/msg"
 	"minraid/internal/policy"
 	"minraid/internal/storage"
+	"minraid/internal/trace"
 	"minraid/internal/workload"
 )
 
@@ -82,7 +83,24 @@ type (
 	// Schedule is a failure/recovery script keyed to transaction
 	// numbers.
 	Schedule = failure.Schedule
+	// TraceID identifies one traced operation. Database transactions
+	// trace under their transaction ID; managing-site fail/recover
+	// orders trace above AdminTraceBase.
+	TraceID = trace.ID
+	// TraceEvent is one instrumented step of a traced operation on one
+	// site.
+	TraceEvent = trace.Event
+	// TraceSpan is the chronological event timeline of one trace ID,
+	// reconstructed across sites.
+	TraceSpan = trace.Span
+	// TraceRecorder collects trace events cluster-wide; reach it via
+	// Cluster.Tracer().
+	TraceRecorder = trace.Recorder
 )
+
+// AdminTraceBase is the first trace ID used for managing-site admin
+// operations (fail/recover orders).
+const AdminTraceBase = trace.AdminBase
 
 // Site states.
 const (
@@ -242,7 +260,16 @@ type (
 	ExperimentConfig = experiment.Config
 	// ScheduleResult is the outcome of driving one failure schedule.
 	ScheduleResult = experiment.ScheduleResult
+	// PercentileReport is the tail-latency view of a run: per-event-class
+	// latency histograms merged across sites plus message counts.
+	PercentileReport = experiment.PercentileReport
 )
+
+// CollectPercentiles merges every site's latency histograms and the
+// network's message counts; call before Close.
+func CollectPercentiles(c *Cluster) *PercentileReport {
+	return experiment.CollectPercentiles(c)
+}
 
 // RunSchedule drives an arbitrary failure schedule with the paper's
 // workload and returns per-transaction fail-lock series and abort
