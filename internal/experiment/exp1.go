@@ -153,6 +153,10 @@ type ControlOverheadReport struct {
 	Type1Operational time.Duration
 	// Type2: type-2 completion per announced-to site (paper: 68 ms).
 	Type2 time.Duration
+	// Type2Fanout: wall time of one whole type-2 announcement fan-out —
+	// every target contacted in parallel under one shared ack deadline,
+	// so it tracks the slowest target, not the sum.
+	Type2Fanout time.Duration
 	// Percentiles holds the run's latency histograms per event class.
 	Percentiles *PercentileReport
 }
@@ -164,6 +168,7 @@ func (r ControlOverheadReport) String() string {
 	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Type 1 at recovering site", r.Type1Recovering.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCtrl1Recovering))
 	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Type 1 at operational site", r.Type1Operational.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCtrl1Operational))
 	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Type 2 (per announced-to site)", r.Type2.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCtrl2))
+	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Type 2 fan-out (all targets, wall)", r.Type2Fanout.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCtrl2Fanout))
 	return b.String()
 }
 
@@ -212,8 +217,8 @@ func RunOverheadControl(cfg Config, rounds int) (*ControlOverheadReport, error) 
 
 	report := &ControlOverheadReport{Rounds: rounds, Percentiles: CollectPercentiles(c)}
 	report.Type1Recovering = c.Registry(victim).Timer(site.TimerCtrl1Recovering).Mean()
-	var opTotal, t2Total time.Duration
-	var opN, t2N uint64
+	var opTotal, t2Total, fanTotal time.Duration
+	var opN, t2N, fanN uint64
 	for i := 0; i < cfg.Sites; i++ {
 		reg := c.Registry(core.SiteID(i))
 		op := reg.Timer(site.TimerCtrl1Operational)
@@ -222,12 +227,18 @@ func RunOverheadControl(cfg Config, rounds int) (*ControlOverheadReport, error) 
 		t2 := reg.Timer(site.TimerCtrl2)
 		t2Total += t2.Total
 		t2N += t2.Count
+		fan := reg.Timer(site.TimerCtrl2Fanout)
+		fanTotal += fan.Total
+		fanN += fan.Count
 	}
 	if opN > 0 {
 		report.Type1Operational = opTotal / time.Duration(opN)
 	}
 	if t2N > 0 {
 		report.Type2 = t2Total / time.Duration(t2N)
+	}
+	if fanN > 0 {
+		report.Type2Fanout = fanTotal / time.Duration(fanN)
 	}
 	return report, nil
 }
@@ -245,6 +256,9 @@ type CopierOverheadReport struct {
 	// ClearFailLocks is the per-site cost of the special clearing
 	// transaction (paper: 20 ms).
 	ClearFailLocks time.Duration
+	// ClearFanout is the wall time of one whole clear-fail-locks fan-out
+	// (all ClearSites contacted in parallel under one shared deadline).
+	ClearFanout time.Duration
 	// ClearSites is the number of sites contacted by each special
 	// transaction.
 	ClearSites int
@@ -276,6 +290,7 @@ func (r CopierOverheadReport) String() string {
 	fmt.Fprintf(&b, "  %-44s %12v  (+%.0f%%)  %s\n", "Database txn with one copier", r.TxnWithCopier.Round(time.Microsecond), r.IncreasePct(), r.Percentiles.p95p99(site.TimerCoordTxnCopier))
 	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Copy request service at donor", r.CopyServe.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerCopyServe))
 	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Clear-fail-locks special txn (per site)", r.ClearFailLocks.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerClearFailLocks))
+	fmt.Fprintf(&b, "  %-44s %12v  %s\n", "Clear-fail-locks fan-out (all sites, wall)", r.ClearFanout.Round(time.Microsecond), r.Percentiles.p95p99(site.TimerClearFanout))
 	fmt.Fprintf(&b, "  %-44s %11.0f%%\n", "Share of copier overhead from clearing", r.ClearSharePct())
 	return b.String()
 }
@@ -332,8 +347,8 @@ func RunOverheadCopier(cfg Config, rounds int) (*CopierOverheadReport, error) {
 	report := &CopierOverheadReport{Rounds: rounds, ClearSites: cfg.Sites - 1, Percentiles: CollectPercentiles(c)}
 	var plainTotal, copierTotal time.Duration
 	var plainN, copierN uint64
-	var serveTotal, clearTotal time.Duration
-	var serveN, clearN uint64
+	var serveTotal, clearTotal, clearFanTotal time.Duration
+	var serveN, clearN, clearFanN uint64
 	for i := 0; i < cfg.Sites; i++ {
 		reg := c.Registry(core.SiteID(i))
 		p := reg.Timer(site.TimerCoordTxn)
@@ -348,6 +363,9 @@ func RunOverheadCopier(cfg Config, rounds int) (*CopierOverheadReport, error) {
 		cl := reg.Timer(site.TimerClearFailLocks)
 		clearTotal += cl.Total
 		clearN += cl.Count
+		cf := reg.Timer(site.TimerClearFanout)
+		clearFanTotal += cf.Total
+		clearFanN += cf.Count
 	}
 	if plainN > 0 {
 		report.TxnPlain = plainTotal / time.Duration(plainN)
@@ -360,6 +378,9 @@ func RunOverheadCopier(cfg Config, rounds int) (*CopierOverheadReport, error) {
 	}
 	if clearN > 0 {
 		report.ClearFailLocks = clearTotal / time.Duration(clearN)
+	}
+	if clearFanN > 0 {
+		report.ClearFanout = clearFanTotal / time.Duration(clearFanN)
 	}
 	return report, nil
 }

@@ -1,6 +1,7 @@
 package site
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -218,16 +219,19 @@ func (s *Site) executeTxn(t txn.Txn, tr uint64) txn.Result {
 			}
 		})
 		for _, id := range targets {
-			reply, ok := replies[id]
+			var ack *msg.PrepareAck
+			if reply, ok := replies[id]; ok {
+				ack, _ = reply.Body.(*msg.PrepareAck) // wrong type = no vote
+			}
 			switch {
-			case !ok:
+			case ack == nil:
 				silent = append(silent, id)
-			case reply.Body.(*msg.PrepareAck).OK:
+			case ack.OK:
 				acked = append(acked, id)
 			default:
 				nacked = append(nacked, id)
 				if nackReason == "" {
-					nackReason = reply.Body.(*msg.PrepareAck).Reason
+					nackReason = ack.Reason
 				}
 			}
 		}
@@ -365,10 +369,33 @@ func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersio
 	}
 	targets := s.vec.Operational(s.cfg.ID)
 	s.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	// One fan-out carries every (lost site, target) update — the same
+	// lost×targets messages as before, but in parallel under one shared
+	// deadline instead of up to lost×targets blocking ack timeouts. A
+	// target whose ack never arrives is itself down and gets announced;
+	// on recovery it installs its fail-lock table from a site that heard.
+	calls := make([]transport.Outcall, 0, len(lost)*len(targets))
 	for _, site := range lost {
 		for _, target := range targets {
-			s.caller.CallT(tr, target, &msg.ClearFailLocks{Site: site, Items: items, Set: true})
+			calls = append(calls, transport.Outcall{To: target, Body: &msg.ClearFailLocks{Site: site, Items: items, Set: true}})
 		}
+	}
+	var silent []core.SiteID
+	seen := make(map[core.SiteID]bool, len(targets))
+	for _, r := range s.caller.MulticastT(tr, calls) {
+		if errors.Is(r.Err, transport.ErrCancelled) {
+			return // local failure mid-fan-out: stop silently
+		}
+		if r.Err != nil && !seen[r.To] {
+			seen[r.To] = true
+			silent = append(silent, r.To)
+		}
+	}
+	if len(silent) > 0 {
+		s.announceFailure(silent, tr)
 	}
 }
 
@@ -401,17 +428,25 @@ func (s *Site) remoteReads(t txn.Txn, tr uint64) (map[core.ItemID]core.ItemVersi
 		return nil, ""
 	}
 
+	// All donors are read in parallel under one shared deadline; results
+	// are processed in donor order so abort reasons stay deterministic.
 	out := make(map[core.ItemID]core.ItemVersion)
-	for _, donor := range order {
-		reply, err := s.caller.CallT(tr, donor, &msg.ReadReq{Txn: t.ID, Items: byDonor[donor], RequireFresh: true})
-		if err == transport.ErrCancelled {
+	calls := make([]transport.Outcall, len(order))
+	for i, donor := range order {
+		calls[i] = transport.Outcall{To: donor, Body: &msg.ReadReq{Txn: t.ID, Items: byDonor[donor], RequireFresh: true}}
+	}
+	for i, r := range s.caller.MulticastT(tr, calls) {
+		if errors.Is(r.Err, transport.ErrCancelled) {
 			return nil, txn.AbortSiteDown
 		}
-		if err != nil {
-			s.announceFailure([]core.SiteID{donor}, tr)
+		var resp *msg.ReadResp
+		if r.Err == nil {
+			resp, _ = r.Reply.Body.(*msg.ReadResp) // wrong type = no reply
+		}
+		if resp == nil {
+			s.announceFailure([]core.SiteID{order[i]}, tr)
 			return nil, txn.AbortDonorDown
 		}
-		resp := reply.Body.(*msg.ReadResp)
 		if !resp.OK {
 			return nil, txn.AbortNoDonor
 		}
@@ -485,20 +520,30 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool, t
 
 	count := 0
 	var refreshed []core.ItemID
-	for _, donor := range order {
-		reqItems := byDonor[donor]
+	// Every donor is fetched in parallel under one shared deadline;
+	// replies are applied in donor order so abort reasons and stats stay
+	// deterministic.
+	calls := make([]transport.Outcall, len(order))
+	for i, donor := range order {
 		if bestEffort {
-			// Counted before the call: observers watching the fail-lock
+			// Counted before the fan-out: observers watching the fail-lock
 			// count drain must never see completion before the batch
 			// copier shows in the counters.
 			s.reg.Add(CounterBatchCopiers, 1)
 		}
-		copierStart := time.Now()
-		reply, err := s.caller.CallT(tr, donor, &msg.CopyRequest{Txn: id, Items: reqItems})
-		if err == transport.ErrCancelled {
+		calls[i] = transport.Outcall{To: donor, Body: &msg.CopyRequest{Txn: id, Items: byDonor[donor]}}
+	}
+	fanStart := time.Now()
+	for i, r := range s.caller.MulticastT(tr, calls) {
+		donor := order[i]
+		if errors.Is(r.Err, transport.ErrCancelled) {
 			return count, txn.AbortSiteDown
 		}
-		if err != nil {
+		var resp *msg.CopyResponse
+		if r.Err == nil {
+			resp, _ = r.Reply.Body.(*msg.CopyResponse) // wrong type = no reply
+		}
+		if resp == nil {
 			// "site to which copy request sent is now down": abort and
 			// announce (Appendix A.1).
 			s.announceFailure([]core.SiteID{donor}, tr)
@@ -507,7 +552,6 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool, t
 			}
 			return count, txn.AbortDonorDown
 		}
-		resp := reply.Body.(*msg.CopyResponse)
 		if !resp.OK {
 			if bestEffort {
 				continue
@@ -527,7 +571,7 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool, t
 		}
 		s.stats.CopiersRequested++
 		s.mu.Unlock()
-		s.emit(tr, trace.PhaseCopier, fmt.Sprintf("donor=%d items=%d", donor, len(reqItems)), copierStart)
+		s.emit(tr, trace.PhaseCopier, fmt.Sprintf("donor=%d items=%d", donor, len(byDonor[donor])), fanStart)
 		count++
 	}
 
@@ -545,23 +589,41 @@ func (s *Site) clearFailLocksEverywhere(items []core.ItemID, tr uint64) {
 	s.mu.Lock()
 	targets := s.vec.Operational(s.cfg.ID)
 	s.mu.Unlock()
-	var lost []core.SiteID
-	for _, target := range targets {
-		start := time.Now()
-		_, err := s.caller.CallT(tr, target, &msg.ClearFailLocks{Site: s.cfg.ID, Items: items})
-		if err == transport.ErrCancelled {
-			return
-		}
-		if err != nil {
-			lost = append(lost, target)
-			continue
-		}
-		s.reg.Observe(TimerClearFailLocks, time.Since(start))
-		s.emit(tr, trace.PhaseClearFL, fmt.Sprintf("target=%d items=%d", target, len(items)), start)
+	lost, cancelled := s.fanoutClears(targets, &msg.ClearFailLocks{Site: s.cfg.ID, Items: items}, tr)
+	if cancelled {
+		return // local failure mid-fan-out: stop silently
 	}
 	if len(lost) > 0 {
 		s.announceFailure(lost, tr)
 	}
+}
+
+// fanoutClears multicasts one ClearFailLocks body to every target in
+// parallel under a single shared ack deadline, so k unresponsive targets
+// cost ~1 timeout instead of k. Each acknowledging site is timed and
+// traced. lost lists the targets whose ack never arrived (send failure or
+// timeout) — silent sites the caller announces; a target that answered is
+// alive and must never be announced. cancelled reports that the local
+// site failed with the fan-out in flight: the caller must stop quietly.
+func (s *Site) fanoutClears(targets []core.SiteID, body *msg.ClearFailLocks, tr uint64) (lost []core.SiteID, cancelled bool) {
+	if len(targets) == 0 {
+		return nil, false
+	}
+	start := time.Now()
+	results := s.caller.MulticastT(tr, transport.Outcalls(targets, func(core.SiteID) msg.Body { return body }))
+	for _, r := range results {
+		switch {
+		case errors.Is(r.Err, transport.ErrCancelled):
+			cancelled = true
+		case r.Err != nil:
+			lost = append(lost, r.To)
+		default:
+			s.reg.Observe(TimerClearFailLocks, r.RTT)
+			s.emit(tr, trace.PhaseClearFL, fmt.Sprintf("target=%d items=%d", r.To, len(body.Items)), start)
+		}
+	}
+	s.reg.Observe(TimerClearFanout, time.Since(start))
+	return lost, cancelled
 }
 
 // quorumRead collects ReadQuorum versioned copies of every read item
@@ -595,8 +657,8 @@ func (s *Site) quorumRead(t txn.Txn, tr uint64) ([]core.ItemVersion, bool) {
 			return &msg.ReadReq{Txn: t.ID, Items: readSet}
 		})
 		for _, reply := range replies {
-			resp := reply.Body.(*msg.ReadResp)
-			if !resp.OK {
+			resp, wellTyped := reply.Body.(*msg.ReadResp)
+			if !wellTyped || !resp.OK {
 				continue
 			}
 			votes++

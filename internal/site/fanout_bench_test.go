@@ -1,0 +1,82 @@
+package site
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+	"minraid/internal/transport"
+)
+
+const benchAckTimeout = 20 * time.Millisecond
+
+// benchCluster builds a fresh n-site cluster with the top `dead` site IDs
+// silently failed — deaf but not yet announced, so fan-outs still target
+// them and eat the ack timeout.
+func benchCluster(b *testing.B, n, dead int) ([]*Site, func()) {
+	b.Helper()
+	net := transport.NewMemory(transport.MemoryConfig{Sites: n})
+	sites := make([]*Site, n)
+	for i := 0; i < n; i++ {
+		s, err := New(Config{ID: core.SiteID(i), Sites: n, Items: 4, AckTimeout: benchAckTimeout}, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites[i] = s
+		s.Start()
+	}
+	for i := n - dead; i < n; i++ {
+		sites[i].failNow()
+	}
+	return sites, func() {
+		for _, s := range sites {
+			s.Stop()
+		}
+		net.Close()
+	}
+}
+
+// BenchmarkAnnounceFailure times a type-2 control transaction (announce
+// site 1 down to the four remaining sites) with k of the targets silently
+// dead. The parallel fan-out keeps the wall time at ~1 ack timeout for any
+// k>0; the pre-parallel serial loop paid ~k timeouts.
+func BenchmarkAnnounceFailure(b *testing.B) {
+	for _, dead := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("dead=%d", dead), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sites, teardown := benchCluster(b, 6, dead)
+				b.StartTimer()
+				sites[0].announceFailure([]core.SiteID{1}, 0)
+				b.StopTimer()
+				teardown()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkClearFailLocksFanout times the special clear-fail-locks fan-out
+// (the tail of every copier transaction) to five targets with k silently
+// dead, including the follow-up type-2 announcing the losses.
+func BenchmarkClearFailLocksFanout(b *testing.B) {
+	targets := []core.SiteID{1, 2, 3, 4, 5}
+	for _, dead := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("dead=%d", dead), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sites, teardown := benchCluster(b, 6, dead)
+				b.StartTimer()
+				lost, cancelled := sites[0].fanoutClears(targets, &msg.ClearFailLocks{Site: 1, Items: []core.ItemID{0}}, 0)
+				if !cancelled {
+					sites[0].announceFailure(lost, 0)
+				}
+				b.StopTimer()
+				teardown()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package site
+
+import (
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+	"minraid/internal/transport"
+)
+
+// wrongTypedPeer occupies a site ID with a responder that answers every
+// request with a reply of the wrong body type — a malformed participant
+// the protocol must treat as silent, never trust, and never panic on.
+func wrongTypedPeer(t *testing.T, net *transport.Memory, id core.SiteID) {
+	t.Helper()
+	ep, err := net.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := transport.NewCaller(ep, time.Second)
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			if env.Body.Kind().IsReply() {
+				continue
+			}
+			caller.Reply(env, &msg.ReadResp{OK: true})
+		}
+	}()
+	t.Cleanup(func() { ep.Close() })
+}
+
+// TestWrongTypedPrepareReplyTreatedAsSilent covers coordinator.go's
+// phase-one ack handling: a garbage-typed reply must count as no vote
+// (abort, announce) instead of panicking on a blind type assertion.
+func TestWrongTypedPrepareReplyTreatedAsSilent(t *testing.T) {
+	net := transport.NewMemory(transport.MemoryConfig{Sites: 2})
+	t.Cleanup(func() { net.Close() })
+	s, err := New(Config{ID: 0, Sites: 2, Items: 5, AckTimeout: 100 * time.Millisecond}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Stop)
+	wrongTypedPeer(t, net, 1)
+
+	mgr, err := net.Endpoint(core.ManagingSite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := transport.NewCaller(mgr, 5*time.Second)
+	go func() {
+		for {
+			env, ok := mgr.Recv()
+			if !ok {
+				return
+			}
+			caller.Deliver(env)
+		}
+	}()
+
+	reply, err := caller.Call(0, &msg.ClientTxn{Txn: 1, Ops: []core.Op{core.Write(1, []byte("x"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := reply.Body.(*msg.TxnResult)
+	if res.Committed {
+		t.Fatal("transaction committed on a garbage-typed prepare ack")
+	}
+	// The malformed participant counts as silent, i.e. failed.
+	if s.Vector().IsUp(1) {
+		t.Error("malformed participant not announced as down")
+	}
+}
+
+// TestWrongTypedRecoverAckBlocksRecovery covers recovery.go's type-1 ack
+// handling: a garbage-typed CtrlRecoverAck is no reply, so with no other
+// donor the recovery stays blocked — and nothing panics.
+func TestWrongTypedRecoverAckBlocksRecovery(t *testing.T) {
+	net := transport.NewMemory(transport.MemoryConfig{Sites: 2})
+	t.Cleanup(func() { net.Close() })
+	s, err := New(Config{ID: 0, Sites: 2, Items: 5, AckTimeout: 100 * time.Millisecond}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Stop)
+	wrongTypedPeer(t, net, 1)
+
+	s.failNow()
+	if s.recoverSite(0) {
+		t.Fatal("recovery succeeded with only a malformed donor")
+	}
+	if got := s.State(); got != core.StatusDown {
+		t.Errorf("state after blocked recovery = %v, want down", got)
+	}
+}
+
+// TestFanoutLatencyBoundedTwoSitesDown asserts the tentpole property on a
+// live cluster: with two sites silently dead, both the commit/abort path
+// (phase-one fan-out plus type-2 announcement) and the copier path (copy
+// fetch plus clear-fail-locks fan-out) finish within ~one ack timeout,
+// not one timeout per dead site.
+func TestFanoutLatencyBoundedTwoSitesDown(t *testing.T) {
+	const ackTimeout = 250 * time.Millisecond
+	// Anything at or above two timeouts means some fan-out degenerated to
+	// serial per-target waits; leave a margin below that for scheduling.
+	const bound = 2*ackTimeout - 50*time.Millisecond
+	h := newHarness(t, 5, 8, func(c *Config) { c.AckTimeout = ackTimeout })
+
+	// --- Abort path: a write detecting two dead participants. ---
+	h.sites[3].failNow()
+	h.sites[4].failNow()
+	start := time.Now()
+	res := h.exec(t, 0, 1, []core.Op{core.Write(1, []byte("x"))})
+	elapsed := time.Since(start)
+	if res.Committed {
+		t.Fatal("write committed with two participants dead")
+	}
+	if elapsed > bound {
+		t.Errorf("abort with 2 dead sites took %v, want < %v", elapsed, bound)
+	}
+	if v := h.sites[0].Vector(); v.IsUp(3) || v.IsUp(4) {
+		t.Error("dead participants not announced")
+	}
+	// The retry commits against the surviving sites.
+	if res := h.exec(t, 0, 2, []core.Op{core.Write(1, []byte("y"))}); !res.Committed {
+		t.Fatalf("retry aborted: %s", res.AbortReason)
+	}
+
+	// --- Copier path: a fresh cluster, fail-lock one item, then read it
+	// with two dead clear-fan-out targets. ---
+	h2 := newHarness(t, 5, 8, func(c *Config) { c.AckTimeout = ackTimeout })
+	if _, err := h2.caller.Call(0, &msg.FailSim{}); err != nil {
+		t.Fatal(err)
+	}
+	// First write detects the failure and aborts; the second commits and
+	// fail-locks the item for site 0.
+	h2.exec(t, 1, 1, []core.Op{core.Write(1, []byte("a"))})
+	if res := h2.exec(t, 1, 2, []core.Op{core.Write(1, []byte("b"))}); !res.Committed {
+		t.Fatalf("setup write aborted: %s", res.AbortReason)
+	}
+	if _, err := h2.caller.Call(0, &msg.RecoverSim{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.sites[0].FailLockCount(0); got == 0 {
+		t.Fatal("no fail-locks after recovery")
+	}
+	h2.sites[3].failNow()
+	h2.sites[4].failNow()
+	start = time.Now()
+	res = h2.exec(t, 0, 3, []core.Op{core.Read(1)})
+	elapsed = time.Since(start)
+	if !res.Committed || res.Copiers == 0 {
+		t.Fatalf("copier txn failed: committed=%v copiers=%d reason=%s", res.Committed, res.Copiers, res.AbortReason)
+	}
+	if elapsed > bound {
+		t.Errorf("copier txn with 2 dead clear targets took %v, want < %v", elapsed, bound)
+	}
+	if v := h2.sites[0].Vector(); v.IsUp(3) || v.IsUp(4) {
+		t.Error("dead clear targets not announced")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"minraid/internal/core"
 	"minraid/internal/msg"
 	"minraid/internal/trace"
+	"minraid/internal/transport"
 )
 
 // failNow simulates a site failure: the site stops participating in any
@@ -97,7 +98,13 @@ func (s *Site) recoverSite(tr uint64) bool {
 		if !ok {
 			continue
 		}
-		ack := reply.Body.(*msg.CtrlRecoverAck)
+		ack, wellTyped := reply.Body.(*msg.CtrlRecoverAck)
+		if !wellTyped {
+			// A garbled reply is no reply: the site cannot serve as donor
+			// and, below, is treated like a site that never answered.
+			delete(replies, id)
+			continue
+		}
 		if !ack.OK {
 			continue
 		}
@@ -164,15 +171,28 @@ func (s *Site) announceFailure(failed []core.SiteID, tr uint64) {
 	targets := s.vec.Operational(s.cfg.ID)
 	s.mu.Unlock()
 
-	for _, target := range targets {
+	// One parallel multicast under a single shared ack deadline: a target
+	// that is itself dead costs the announcement ~1 timeout total, not one
+	// timeout per dead target. A target that cannot be reached is left for
+	// the next transaction that needs it to detect — announcing it here
+	// would recurse into another type-2 for no benefit; a target that
+	// answered is alive and must never be announced.
+	if len(targets) > 0 {
 		start := time.Now()
-		if _, err := s.caller.CallT(tr, target, &msg.CtrlFail{Failed: fails}); err == nil {
+		results := s.caller.MulticastT(tr, transport.Outcalls(targets, func(core.SiteID) msg.Body {
+			return &msg.CtrlFail{Failed: fails}
+		}))
+		for _, r := range results {
+			if r.Err != nil {
+				continue
+			}
 			// The paper's 68 ms covers "the sending of the failure
 			// announcement to a particular site and the updating of the
-			// session vector at that site".
-			s.reg.Observe(TimerCtrl2, time.Since(start))
+			// session vector at that site" — per-target round trip.
+			s.reg.Observe(TimerCtrl2, r.RTT)
 			s.emit(tr, trace.PhaseCtrl2, "announce", start)
 		}
+		s.reg.Observe(TimerCtrl2Fanout, time.Since(start))
 	}
 	if s.cfg.EnableType3 {
 		s.maybeReplicate0(tr)
@@ -294,7 +314,11 @@ func (s *Site) maybeReplicate0(tr uint64) {
 
 	start := time.Now()
 	reply, err := s.caller.CallT(tr, backup, &msg.CtrlReplicate{Items: endangered})
-	if err != nil || !reply.Body.(*msg.CtrlReplicateAck).OK {
+	if err != nil {
+		return
+	}
+	ack, wellTyped := reply.Body.(*msg.CtrlReplicateAck)
+	if !wellTyped || !ack.OK {
 		return
 	}
 	s.mu.Lock()
@@ -309,10 +333,13 @@ func (s *Site) maybeReplicate0(tr uint64) {
 	}
 	targets := s.vec.Operational(s.cfg.ID, backup)
 	s.mu.Unlock()
-	// Propagate the backup site's refreshed status.
-	for _, target := range targets {
-		s.caller.CallT(tr, target, &msg.ClearFailLocks{Site: backup, Items: items})
-	}
+	// Propagate the backup site's refreshed status. Targets whose ack
+	// never arrives are announced like any other clear fan-out loss —
+	// their tables would otherwise keep stale bits for the backup site.
+	lost, cancelled := s.fanoutClears(targets, &msg.ClearFailLocks{Site: backup, Items: items}, tr)
 	s.reg.Observe(TimerCtrl3, time.Since(start))
 	s.emit(tr, trace.PhaseCtrl3, "backup", start)
+	if !cancelled && len(lost) > 0 {
+		s.announceFailure(lost, tr)
+	}
 }

@@ -57,12 +57,20 @@ const (
 	// TimerCtrl2 is the type-2 control transaction time per announced-to
 	// site (§2.2.2: 68 ms).
 	TimerCtrl2 = "ctrl2"
+	// TimerCtrl2Fanout is the wall time of one whole type-2 announcement
+	// fan-out: every target contacted in parallel under a single shared
+	// ack deadline, so k unresponsive targets cost ~1 timeout, not k.
+	TimerCtrl2Fanout = "ctrl2.fanout"
 	// TimerCopyServe is the donor-side copy-request service time
 	// (§2.2.3: 25 ms).
 	TimerCopyServe = "copy.serve"
 	// TimerClearFailLocks is the coordinator-side cost of the special
 	// fail-lock-clearing transaction, per contacted site (§2.2.3: 20 ms).
 	TimerClearFailLocks = "clear.flock"
+	// TimerClearFanout is the wall time of one whole clear-fail-locks
+	// fan-out (the special transaction's parallel multicast to every
+	// operational site).
+	TimerClearFanout = "clear.flock.fanout"
 	// TimerCtrl3 is the type-3 (backup copy) control transaction time.
 	TimerCtrl3 = "ctrl3"
 	// TimerBatchRefresh is the duration of a batch copier refresh pass

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -49,6 +50,74 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 		if _, ok := dst.Recv(); !ok {
 			b.Fatal("recv failed")
 		}
+	}
+}
+
+// BenchmarkFanout measures a 5-target fan-out with k of the targets dead
+// (endpoint exists, nobody answers). The serial CallT loop pays ~k ack
+// timeouts; MulticastT pays ~1 regardless of k — the bound the replicated
+// copy control paths (type-2 announce, clear-fail-locks, copier fetch)
+// now inherit.
+func BenchmarkFanout(b *testing.B) {
+	const (
+		targetsN = 5
+		timeout  = 20 * time.Millisecond
+	)
+	setup := func(b *testing.B, dead int) (*Caller, []core.SiteID) {
+		net := NewMemory(MemoryConfig{Sites: targetsN + 1})
+		b.Cleanup(func() { net.Close() })
+		targets := make([]core.SiteID, targetsN)
+		for i := 1; i <= targetsN; i++ {
+			targets[i-1] = core.SiteID(i)
+			ep, _ := net.Endpoint(core.SiteID(i))
+			if i > targetsN-dead {
+				continue // dead: endpoint open, never answers
+			}
+			c := NewCaller(ep, timeout)
+			go func() {
+				for {
+					env, ok := ep.Recv()
+					if !ok {
+						return
+					}
+					if cm, isCommit := env.Body.(*msg.Commit); isCommit {
+						c.Reply(env, &msg.CommitAck{Txn: cm.Txn})
+					}
+				}
+			}()
+		}
+		ep0, _ := net.Endpoint(0)
+		c0 := NewCaller(ep0, timeout)
+		go func() {
+			for {
+				env, ok := ep0.Recv()
+				if !ok {
+					return
+				}
+				c0.Deliver(env)
+			}
+		}()
+		return c0, targets
+	}
+	for _, dead := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("serial/dead=%d", dead), func(b *testing.B) {
+			c, targets := setup(b, dead)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range targets {
+					c.Call(id, &msg.Commit{Txn: core.TxnID(i)}) //nolint:errcheck // dead targets time out by design
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("multicast/dead=%d", dead), func(b *testing.B) {
+			c, targets := setup(b, dead)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.MulticastT(0, Outcalls(targets, func(core.SiteID) msg.Body {
+					return &msg.Commit{Txn: core.TxnID(i)}
+				}))
+			}
+		})
 	}
 }
 

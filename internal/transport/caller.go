@@ -34,7 +34,15 @@ type Caller struct {
 	sent    atomic.Uint64
 
 	mu      sync.Mutex
-	pending map[uint64]chan *msg.Envelope
+	pending map[uint64]chan delivered
+}
+
+// delivered carries a reply together with the moment Deliver accepted it,
+// so a multicast can report per-target round-trip times even though its
+// slots are drained serially after the fan-out.
+type delivered struct {
+	env *msg.Envelope
+	at  time.Time
 }
 
 // NewCaller wraps ep with the given call timeout.
@@ -45,7 +53,7 @@ type Caller struct {
 // invocation, a rebooted raidsrv) must not reuse the numbers its
 // predecessor burned.
 func NewCaller(ep Endpoint, timeout time.Duration) *Caller {
-	c := &Caller{ep: ep, timeout: timeout, pending: make(map[uint64]chan *msg.Envelope)}
+	c := &Caller{ep: ep, timeout: timeout, pending: make(map[uint64]chan delivered)}
 	c.seq.Store(uint64(time.Now().UnixNano()))
 	return c
 }
@@ -88,7 +96,42 @@ func (c *Caller) CallT(trace uint64, to core.SiteID, body msg.Body) (*msg.Envelo
 	if err := c.ep.Send(&msg.Envelope{To: to, Seq: seq, Trace: trace, Body: body}); err != nil {
 		return nil, err
 	}
-	return c.await(ch, time.NewTimer(c.timeout))
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	d, err := c.await(ch, timer)
+	return d.env, err
+}
+
+// Outcall is one request of an error-reporting multicast: a destination
+// and the body to send it.
+type Outcall struct {
+	To   core.SiteID
+	Body msg.Body
+}
+
+// Outcalls builds a uniform Outcall slice: one request per target, with
+// bodies produced by mk.
+func Outcalls(targets []core.SiteID, mk func(core.SiteID) msg.Body) []Outcall {
+	calls := make([]Outcall, len(targets))
+	for i, id := range targets {
+		calls[i] = Outcall{To: id, Body: mk(id)}
+	}
+	return calls
+}
+
+// CallResult is one slot's outcome in a MulticastT fan-out.
+type CallResult struct {
+	// To is the slot's destination, copied from the Outcall.
+	To core.SiteID
+	// Reply is the correlated reply; nil exactly when Err is non-nil.
+	Reply *msg.Envelope
+	// Err is nil on success; otherwise the send error (the request never
+	// left this site), ErrTimeout (the target stayed silent past the
+	// shared deadline — the protocol's evidence of its failure), or
+	// ErrCancelled (the local site failed with the fan-out in flight).
+	Err error
+	// RTT is the fan-out-start-to-reply-delivery latency, set on success.
+	RTT time.Duration
 }
 
 // Multicall sends mk(target) to every target concurrently and collects
@@ -101,46 +144,72 @@ func (c *Caller) Multicall(targets []core.SiteID, mk func(core.SiteID) msg.Body)
 
 // MulticallT is Multicall with a trace ID stamped on every request.
 func (c *Caller) MulticallT(trace uint64, targets []core.SiteID, mk func(core.SiteID) msg.Body) map[core.SiteID]*msg.Envelope {
-	type slot struct {
-		id  core.SiteID
-		seq uint64
-		ch  chan *msg.Envelope
-	}
-	slots := make([]slot, 0, len(targets))
-	for _, id := range targets {
-		seq, ch := c.register()
-		slots = append(slots, slot{id: id, seq: seq, ch: ch})
-		c.sent.Add(1)
-		// A send error (unknown site) just leaves the slot unanswered.
-		_ = c.ep.Send(&msg.Envelope{To: id, Seq: seq, Trace: trace, Body: mk(id)})
-	}
 	out := make(map[core.SiteID]*msg.Envelope, len(targets))
+	for _, r := range c.MulticastT(trace, Outcalls(targets, mk)) {
+		if r.Err == nil {
+			out[r.To] = r.Reply
+		}
+	}
+	return out
+}
+
+// MulticastT sends every call concurrently and reports a per-slot outcome
+// — the reply, or an error distinguishing send failure from timeout from
+// cancellation — under one shared deadline: with k unresponsive targets
+// the whole fan-out costs ~1 ack timeout, not k. Results align with calls,
+// so duplicate destinations are well-defined (each slot gets its own
+// correlated reply).
+func (c *Caller) MulticastT(trace uint64, calls []Outcall) []CallResult {
+	out := make([]CallResult, len(calls))
+	seqs := make([]uint64, len(calls))
+	chans := make([]chan delivered, len(calls))
+	start := time.Now()
+	for i, call := range calls {
+		out[i].To = call.To
+		seq, ch := c.register()
+		c.sent.Add(1)
+		if err := c.ep.Send(&msg.Envelope{To: call.To, Seq: seq, Trace: trace, Body: call.Body}); err != nil {
+			// The request never left, so no reply can ever arrive: fail
+			// the slot now instead of burning the shared deadline on it.
+			c.unregister(seq)
+			out[i].Err = err
+			continue
+		}
+		seqs[i], chans[i] = seq, ch
+	}
 	timer := time.NewTimer(c.timeout)
 	defer timer.Stop()
-	for _, sl := range slots {
-		env, err := c.await(sl.ch, timer)
-		c.unregister(sl.seq)
-		if err == nil {
-			out[sl.id] = env
+	for i := range calls {
+		if chans[i] == nil {
+			continue
 		}
+		d, err := c.await(chans[i], timer)
+		c.unregister(seqs[i])
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Reply = d.env
+		out[i].RTT = d.at.Sub(start)
 	}
 	return out
 }
 
 // await waits for one reply on ch or for the (shared) timer to fire.
 // The timer is not reset between calls, implementing a single deadline
-// across a Multicall.
-func (c *Caller) await(ch chan *msg.Envelope, timer *time.Timer) (*msg.Envelope, error) {
+// across a multicast: a reply that beat the deadline sits buffered in its
+// slot's channel and is still collected after an earlier slot timed out.
+func (c *Caller) await(ch chan delivered, timer *time.Timer) (delivered, error) {
 	select {
-	case env, ok := <-ch:
-		if !ok || env == nil {
-			return nil, ErrCancelled
+	case d, ok := <-ch:
+		if !ok || d.env == nil {
+			return delivered{}, ErrCancelled
 		}
-		return env, nil
+		return d, nil
 	case <-timer.C:
 		// Keep the timer expired for subsequent awaits on the same timer.
 		timer.Reset(0)
-		return nil, ErrTimeout
+		return delivered{}, ErrTimeout
 	}
 }
 
@@ -160,7 +229,7 @@ func (c *Caller) Deliver(env *msg.Envelope) bool {
 	if !ok {
 		return false
 	}
-	ch <- env // buffered: never blocks
+	ch <- delivered{env: env, at: time.Now()} // buffered: never blocks
 	return true
 }
 
@@ -175,9 +244,9 @@ func (c *Caller) CancelAll() {
 	}
 }
 
-func (c *Caller) register() (uint64, chan *msg.Envelope) {
+func (c *Caller) register() (uint64, chan delivered) {
 	seq := c.seq.Add(1)
-	ch := make(chan *msg.Envelope, 1)
+	ch := make(chan delivered, 1)
 	c.mu.Lock()
 	c.pending[seq] = ch
 	c.mu.Unlock()

@@ -140,6 +140,155 @@ func TestCallerCancelAll(t *testing.T) {
 	}
 }
 
+// callerAt builds a caller on the given endpoint with its receive loop
+// routing replies into the pending table.
+func callerAt(t *testing.T, net *Memory, id core.SiteID, timeout time.Duration) *Caller {
+	t.Helper()
+	ep, err := net.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCaller(ep, timeout)
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			c.Deliver(env)
+		}
+	}()
+	return c
+}
+
+func TestMulticastSendFailureFailsFast(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	echoSite(t, net, 1)
+	c := callerAt(t, net, 0, 2*time.Second)
+	// Site 7 does not exist: its Send fails. The slot must fail with the
+	// send error immediately instead of burning the shared deadline.
+	start := time.Now()
+	res := c.MulticastT(0, []Outcall{
+		{To: 7, Body: &msg.Commit{Txn: 1}},
+		{To: 1, Body: &msg.Commit{Txn: 2}},
+	})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("send-failure slot burned the timeout: %v", elapsed)
+	}
+	if res[0].Err == nil || errors.Is(res[0].Err, ErrTimeout) || errors.Is(res[0].Err, ErrCancelled) {
+		t.Errorf("slot 0 err = %v, want a send error", res[0].Err)
+	}
+	if res[1].Err != nil || res[1].Reply.Body.(*msg.CommitAck).Txn != 2 {
+		t.Errorf("slot 1 = %+v, want reply", res[1])
+	}
+}
+
+func TestMulticallSendFailureDoesNotBurnTimeout(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	echoSite(t, net, 1)
+	c := callerAt(t, net, 0, 2*time.Second)
+	start := time.Now()
+	replies := c.Multicall([]core.SiteID{7, 1}, func(core.SiteID) msg.Body {
+		return &msg.Commit{Txn: 3}
+	})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("multicall burned the timeout on a failed send: %v", elapsed)
+	}
+	if len(replies) != 1 || replies[1] == nil {
+		t.Errorf("replies = %v", replies)
+	}
+}
+
+func TestMulticastDistinguishesTimeoutFromCancel(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 3})
+	defer net.Close()
+	echoSite(t, net, 1)
+	if _, err := net.Endpoint(2); err != nil { // silent peer
+		t.Fatal(err)
+	}
+	c := callerAt(t, net, 0, 50*time.Millisecond)
+	res := c.MulticastT(0, []Outcall{
+		{To: 1, Body: &msg.Commit{Txn: 4}},
+		{To: 2, Body: &msg.Commit{Txn: 5}},
+	})
+	if res[0].Err != nil {
+		t.Errorf("live slot err = %v", res[0].Err)
+	}
+	if res[0].RTT <= 0 || res[0].RTT > time.Second {
+		t.Errorf("live slot RTT = %v", res[0].RTT)
+	}
+	if !errors.Is(res[1].Err, ErrTimeout) {
+		t.Errorf("silent slot err = %v, want ErrTimeout", res[1].Err)
+	}
+
+	// Cancellation mid-flight must surface as ErrCancelled, not ErrTimeout.
+	c2 := callerAt(t, net, 1, 5*time.Second)
+	done := make(chan []CallResult, 1)
+	go func() {
+		done <- c2.MulticastT(0, []Outcall{{To: 2, Body: &msg.Commit{Txn: 6}}})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c2.CancelAll()
+	select {
+	case res := <-done:
+		if !errors.Is(res[0].Err, ErrCancelled) {
+			t.Errorf("cancelled slot err = %v, want ErrCancelled", res[0].Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not unblock multicast")
+	}
+}
+
+func TestMulticastSharedDeadlineCollectsBufferedReplies(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 3})
+	defer net.Close()
+	echoSite(t, net, 1)
+	if _, err := net.Endpoint(2); err != nil { // silent peer
+		t.Fatal(err)
+	}
+	const timeout = 150 * time.Millisecond
+	c := callerAt(t, net, 0, timeout)
+	// The dead slot is drained first: it expires the shared timer, and the
+	// live reply — long since buffered — must still be collected, with the
+	// whole fan-out bounded by ~one timeout, not one per slot.
+	start := time.Now()
+	res := c.MulticastT(0, []Outcall{
+		{To: 2, Body: &msg.Commit{Txn: 7}},
+		{To: 1, Body: &msg.Commit{Txn: 8}},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(res[0].Err, ErrTimeout) {
+		t.Errorf("dead slot err = %v", res[0].Err)
+	}
+	if res[1].Err != nil || res[1].Reply.Body.(*msg.CommitAck).Txn != 8 {
+		t.Errorf("buffered reply lost: %+v", res[1])
+	}
+	if elapsed >= 2*timeout {
+		t.Errorf("fan-out took %v, want < 2x the %v shared deadline", elapsed, timeout)
+	}
+}
+
+func TestMulticastDuplicateTargets(t *testing.T) {
+	net := NewMemory(MemoryConfig{Sites: 2})
+	defer net.Close()
+	echoSite(t, net, 1)
+	c := callerAt(t, net, 0, time.Second)
+	res := c.MulticastT(0, []Outcall{
+		{To: 1, Body: &msg.Commit{Txn: 10}},
+		{To: 1, Body: &msg.Commit{Txn: 11}},
+	})
+	for i, want := range []core.TxnID{10, 11} {
+		if res[i].Err != nil {
+			t.Fatalf("slot %d err = %v", i, res[i].Err)
+		}
+		if got := res[i].Reply.Body.(*msg.CommitAck).Txn; got != want {
+			t.Errorf("slot %d correlated to txn %d, want %d", i, got, want)
+		}
+	}
+}
+
 func TestCallerLateReplyDropped(t *testing.T) {
 	net := NewMemory(MemoryConfig{Sites: 2})
 	defer net.Close()
