@@ -5,10 +5,13 @@
 //	raid-experiments -delay 9ms      # reproduce the paper's absolute scale
 //	raid-experiments -run f1         # just Figure 1
 //	raid-experiments -csv out/       # also write figure series as CSV
+//	raid-experiments soak            # seeded chaos soak (see -h for knobs)
 //
 // Experiments: e1 (overhead tables §2.2), f1 (Figure 1 §3), f2/f3
 // (Figures 2-3 §4), ext (the paper's proposed extensions: two-step
-// recovery, type-3, read-fraction sweep, policy comparison).
+// recovery, type-3, read-fraction sweep, policy comparison). The soak
+// subcommand runs randomized fail/recover schedules under a seeded chaotic
+// network and audits copy consistency after every epoch.
 package main
 
 import (
@@ -25,6 +28,12 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch (currently just the chaos soak) happens before
+	// flag parsing so the subcommand owns its own flag set.
+	if len(os.Args) > 1 && os.Args[1] == "soak" {
+		runSoak(os.Args[2:])
+		return
+	}
 	var (
 		run   = flag.String("run", "all", "which experiment: all, e1, f1, f2, f3, ext")
 		delay = flag.Duration("delay", 0, "per-hop communication cost (9ms reproduces the paper's hardware)")

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"minraid/internal/experiment"
+	"minraid/internal/transport"
+)
+
+// runSoak drives the chaos soak subcommand:
+//
+//	raid-experiments soak                      # 5 seeds, default chaos
+//	raid-experiments soak -seeds 1,2,3 -txns 60 -drop 0.03
+//
+// Each (seed, epoch) builds a fresh cluster on a seeded chaotic network,
+// runs a generated fail/recover schedule with workload traffic, and audits
+// copy consistency. Exit status is non-zero on any audit violation, and —
+// unless -repro=false — the first epoch is re-run afterwards to prove the
+// chaos layer's determinism: same seed, identical per-link drop/dup/jitter
+// decisions.
+func runSoak(args []string) {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	var (
+		seeds  = fs.String("seeds", "1,2,3,4,5", "comma-separated root seeds")
+		epochs = fs.Int("epochs", 1, "epochs per seed")
+		txns   = fs.Int("txns", 40, "transactions per epoch")
+		sites  = fs.Int("sites", 4, "database sites")
+		items  = fs.Int("items", 30, "database items")
+		drop   = fs.Float64("drop", 0.02, "per-message drop probability on site-to-site links")
+		dup    = fs.Float64("dup", 0.02, "per-message duplication probability")
+		jitter = fs.Duration("jitter", 5*time.Millisecond, "max injected per-message latency (keep well below -ack)")
+		delay  = fs.Duration("delay", 0, "per-hop communication cost")
+		ack    = fs.Duration("ack", 50*time.Millisecond, "failure-detection ack timeout")
+		repro  = fs.Bool("repro", true, "re-run the first epoch and verify identical chaos decisions")
+		pct    = fs.Bool("percentiles", false, "also print p50/p95/p99 latency tables per event class")
+		quiet  = fs.Bool("q", false, "suppress per-epoch progress lines")
+	)
+	fs.Parse(args)
+
+	cfg := experiment.SoakConfig{
+		Base: experiment.Config{
+			Sites:      *sites,
+			Items:      *items,
+			Delay:      *delay,
+			AckTimeout: *ack,
+		},
+		Seeds:         parseSeeds(*seeds),
+		EpochsPerSeed: *epochs,
+		TxnsPerEpoch:  *txns,
+		Chaos: transport.ChaosConfig{
+			Drop:      *drop,
+			Dup:       *dup,
+			MaxJitter: *jitter,
+		},
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	}
+
+	header(fmt.Sprintf("Chaos soak: %d seed(s) x %d epoch(s) x %d txns (drop=%v dup=%v jitter=%v)",
+		len(cfg.Seeds), cfg.EpochsPerSeed, cfg.TxnsPerEpoch, *drop, *dup, *jitter))
+	res, err := experiment.RunSoak(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println()
+	fmt.Print(res)
+	for _, e := range res.Epochs {
+		if !e.AuditOK {
+			fmt.Printf("\nseed %d epoch %d audit detail:\n%s\n", e.Seed, e.Epoch, e.AuditDetail)
+		}
+	}
+	percentiles(*pct, res.Percentiles)
+
+	ok := res.OK()
+	if *repro && len(res.Epochs) > 0 {
+		if err := verifyRepro(cfg, res.Epochs[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "raid-experiments: soak:", err)
+			ok = false
+		} else {
+			fmt.Printf("\nrepro check: seed %d epoch %d re-run reproduced identical chaos decisions on %d links\n",
+				res.Epochs[0].Seed, res.Epochs[0].Epoch, len(res.Epochs[0].Chaos))
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// verifyRepro re-runs one epoch and compares the chaos layer's per-link
+// decision counters against the first run's.
+func verifyRepro(cfg experiment.SoakConfig, first experiment.EpochResult) error {
+	cfg.Seeds = []int64{first.Seed}
+	cfg.EpochsPerSeed = 1
+	cfg.Logf = nil
+	rerun, err := experiment.RunSoak(cfg)
+	if err != nil {
+		return fmt.Errorf("repro re-run: %w", err)
+	}
+	got := rerun.Epochs[0].Chaos
+	if !reflect.DeepEqual(got, first.Chaos) {
+		return fmt.Errorf("repro check failed: seed %d epoch %d produced different chaos decisions:\nfirst: %s\nrerun: %s",
+			first.Seed, first.Epoch, fmtChaos(first.Chaos), fmtChaos(got))
+	}
+	return nil
+}
+
+func fmtChaos(m map[transport.LinkID]transport.LinkStats) string {
+	var total transport.LinkStats
+	for _, s := range m {
+		total.Add(s)
+	}
+	return fmt.Sprintf("links=%d sent=%d dropped=%d dup=%d jitter=%v",
+		len(m), total.Sent, total.Dropped, total.Duplicated, total.JitterTotal)
+}
+
+func parseSeeds(s string) []int64 {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			fail(fmt.Errorf("bad seed %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fail(fmt.Errorf("no seeds given"))
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"minraid/internal/core"
+	"minraid/internal/transport"
 	"minraid/internal/txn"
 	"minraid/internal/workload"
 )
@@ -128,6 +129,71 @@ func TestChaosRandomFailRecover(t *testing.T) {
 				t.Errorf("seed %d after drain: %s (stale=%d)", seed, report, report.StaleCopies)
 			}
 		})
+	}
+}
+
+// TestDuplicateStorm: every site-to-site message is delivered twice
+// (transport.Chaos with Dup=1). Per-sender sequence suppression in the
+// site receive loop must absorb the replays — without it a duplicated
+// Prepare arriving after its Commit would re-stage the transaction, leak
+// a decision timer and fire a spurious failure announcement. Every
+// transaction must commit and the audit must be clean, exactly as on a
+// reliable network.
+func TestDuplicateStorm(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Sites:      3,
+		Items:      10,
+		AckTimeout: 40 * time.Millisecond,
+		Chaos:      &transport.ChaosConfig{Seed: 1, Dup: 1, ExemptManager: true},
+	})
+	gen := workload.NewUniform(10, 5, 1)
+
+	for i := 0; i < 30; i++ {
+		// Exercise the full state machine under duplication, including a
+		// mid-run failure and recovery.
+		if i == 10 {
+			if err := c.Fail(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 20 {
+			if _, err := c.Recover(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		coord := core.SiteID(i % 3)
+		if i >= 10 && i < 20 && coord == 1 {
+			coord = 0
+		}
+		id := c.NextTxnID()
+		res, err := c.ExecTxn(coord, id, gen.Next(id))
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+		if !res.Committed {
+			// The one legitimate abort: the first transaction touching
+			// site 1 after its (real) failure detects it and runs the
+			// type-2 announcement. Anything else is duplication damage.
+			if i == 10 && res.AbortReason == txn.AbortParticipantDown {
+				continue
+			}
+			t.Fatalf("txn %d aborted under pure duplication: %q", i, res.AbortReason)
+		}
+	}
+
+	report, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Errorf("audit after duplicate storm: %s", report)
+	}
+	total := transport.LinkStats{}
+	for _, s := range c.ChaosStats() {
+		total.Add(s)
+	}
+	if total.Duplicated == 0 || total.Duplicated != total.Sent {
+		t.Fatalf("duplication never fired: %+v", total)
 	}
 }
 

@@ -61,16 +61,27 @@ type Config struct {
 	// per-kind message counts from the transport. Nil allocates a shared
 	// recorder with the default capacity.
 	Tracer *trace.Recorder
+	// Chaos, when non-nil, wraps the memory transport in a seeded
+	// fault-injection layer (per-link message drop, duplication and
+	// latency jitter) — the adversarial wire the paper's assumption 1
+	// rules out. Managing-site links should normally stay exempt
+	// (ChaosConfig.ExemptManager) so control and measurement traffic
+	// remains reliable while the protocol links misbehave.
+	Chaos *transport.ChaosConfig
 }
 
 // Cluster is a running mini-RAID system.
 type Cluster struct {
-	cfg    Config
-	net    *transport.Memory
-	sites  []*site.Site
-	mgr    transport.Endpoint
-	caller *transport.Caller
-	tracer *trace.Recorder
+	cfg Config
+	// net is the underlying memory transport; network is what sites
+	// attach to — net itself, or the chaos decorator around it.
+	net     *transport.Memory
+	network transport.Network
+	chaos   *transport.Chaos
+	sites   []*site.Site
+	mgr     transport.Endpoint
+	caller  *transport.Caller
+	tracer  *trace.Recorder
 
 	nextTxn   atomic.Uint64
 	nextAdmin atomic.Uint64
@@ -95,7 +106,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	net := transport.NewMemory(transport.MemoryConfig{Sites: cfg.Sites, Delay: cfg.Delay})
 	net.SetTracer(cfg.Tracer)
-	c := &Cluster{cfg: cfg, net: net, tracer: cfg.Tracer}
+	c := &Cluster{cfg: cfg, net: net, network: net, tracer: cfg.Tracer}
+	if cfg.Chaos != nil {
+		c.chaos = transport.NewChaos(net, *cfg.Chaos)
+		c.network = c.chaos
+	}
 
 	for i := 0; i < cfg.Sites; i++ {
 		id := core.SiteID(i)
@@ -104,7 +119,7 @@ func New(cfg Config) (*Cluster, error) {
 			var err error
 			store, err = cfg.StoreFactory(id)
 			if err != nil {
-				net.Close()
+				c.network.Close()
 				return nil, fmt.Errorf("cluster: store for %s: %w", id, err)
 			}
 		}
@@ -121,17 +136,17 @@ func New(cfg Config) (*Cluster, error) {
 			Replicas:                   cfg.Replicas,
 			ConcurrentTxns:             cfg.ConcurrentTxns,
 			Tracer:                     cfg.Tracer,
-		}, net)
+		}, c.network)
 		if err != nil {
-			net.Close()
+			c.network.Close()
 			return nil, err
 		}
 		c.sites = append(c.sites, s)
 	}
 
-	mgr, err := net.Endpoint(core.ManagingSite)
+	mgr, err := c.network.Endpoint(core.ManagingSite)
 	if err != nil {
-		net.Close()
+		c.network.Close()
 		return nil, err
 	}
 	c.mgr = mgr
@@ -164,7 +179,7 @@ func (c *Cluster) Close() {
 			s.Stop()
 		}
 		c.caller.CancelAll()
-		c.net.Close()
+		c.network.Close()
 		c.wg.Wait()
 	})
 }
@@ -194,6 +209,17 @@ func (c *Cluster) adminTrace() uint64 {
 
 // MessagesSent returns the network-wide message count.
 func (c *Cluster) MessagesSent() uint64 { return c.net.MessagesSent() }
+
+// ChaosStats snapshots the chaos layer's per-link decision counters, or
+// nil when the cluster runs without chaos. Two runs with the same chaos
+// seed and workload produce identical counters — the reproducibility
+// check soak runs assert.
+func (c *Cluster) ChaosStats() map[transport.LinkID]transport.LinkStats {
+	if c.chaos == nil {
+		return nil
+	}
+	return c.chaos.Stats()
+}
 
 // SetLinkDown makes the directed link from->to silently drop messages, or
 // restores it. Managing-site links are unaffected.

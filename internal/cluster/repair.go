@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"minraid/internal/core"
+)
+
+// RecoverWithRetry recovers a site, retrying when the donor handshake is
+// lost in transit (the recovery multicast and its replies travel
+// site-to-site links, which may be chaotic). Returns the number of
+// blocked attempts retried.
+func (c *Cluster) RecoverWithRetry(id core.SiteID, ackTimeout time.Duration) (int, error) {
+	const attempts = 8
+	var err error
+	for i := 0; i < attempts; i++ {
+		if _, err = c.Recover(id); err == nil {
+			return i, nil
+		}
+		if !errors.Is(err, ErrRecoveryBlocked) {
+			return i, err
+		}
+		time.Sleep(ackTimeout / 2)
+	}
+	return attempts, err
+}
+
+// RepairFalseSuspicions probes every truly-up site's session vector and,
+// while some truly-up site is marked failed by another truly-up site,
+// completes the declared failure (Fail) and heals it (Recover): the type-1
+// recovery announcement re-introduces the suspect to everyone, and demand
+// copiers refresh whatever it missed or wrote solo. Divergence the suspect
+// accumulated is fail-locked on both sides throughout, so the audit
+// invariant holds across the repair. trueUp is the caller's ground truth
+// of which sites have not been ordered to fail; the managing site always
+// has it, since its orders are the only source of real failures.
+func (c *Cluster) RepairFalseSuspicions(trueUp []bool, ackTimeout time.Duration) (int, error) {
+	repairs := 0
+	maxRounds := 2 * len(trueUp)
+	for round := 0; round < maxRounds; round++ {
+		suspect := core.SiteID(0)
+		found := false
+	probe:
+		for a, aUp := range trueUp {
+			if !aUp {
+				continue
+			}
+			st, err := c.Status(core.SiteID(a), false)
+			if err != nil {
+				return repairs, err
+			}
+			for b, rec := range st.Vector {
+				if b != a && trueUp[b] && rec.Status != core.StatusUp {
+					suspect = core.SiteID(b)
+					found = true
+					break probe
+				}
+			}
+		}
+		if !found {
+			return repairs, nil
+		}
+		if err := c.Fail(suspect); err != nil {
+			return repairs, err
+		}
+		if _, err := c.RecoverWithRetry(suspect, ackTimeout); err != nil {
+			return repairs, err
+		}
+		repairs++
+	}
+	return repairs, fmt.Errorf("cluster: false-suspicion repair did not converge after %d rounds", maxRounds)
+}

@@ -1,0 +1,340 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"minraid/internal/cluster"
+	"minraid/internal/core"
+	"minraid/internal/failure"
+	"minraid/internal/metrics"
+	"minraid/internal/transport"
+	"minraid/internal/workload"
+)
+
+// SoakConfig parameterizes a randomized robustness run: many seeded epochs
+// of generated fail/recover schedules plus workload traffic, all under a
+// chaotic network, audited for copy consistency after every epoch.
+type SoakConfig struct {
+	// Base supplies the system parameters (sites, items, ops, delay,
+	// timeouts). Zero fields get the soak defaults: 4 sites, 30 items,
+	// 5 ops.
+	Base Config
+	// Seeds are the root seeds; each runs EpochsPerSeed epochs. Every
+	// epoch derives its own chaos seed and schedule from (seed, epoch),
+	// so any failing epoch can be re-run alone.
+	Seeds []int64
+	// EpochsPerSeed is the number of epochs per root seed (default 1).
+	EpochsPerSeed int
+	// TxnsPerEpoch is the workload length of one epoch (default 40).
+	TxnsPerEpoch int
+	// Chaos carries the fault probabilities (Drop, Dup, MaxJitter). Seed
+	// is overridden per epoch and ExemptManager is forced on: the
+	// managing site is the experimenter's out-of-band console and must
+	// stay reliable for injection and measurement. MaxJitter should stay
+	// well below Base.AckTimeout so jitter alone never masquerades as a
+	// site failure.
+	Chaos transport.ChaosConfig
+	// MaxDown caps simultaneously failed sites in generated schedules
+	// (default sites-1).
+	MaxDown int
+	// Logf, when non-nil, receives per-epoch progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	c.Base = c.Base.withDefaults(4, 30, 5)
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3, 4, 5}
+	}
+	if c.EpochsPerSeed == 0 {
+		c.EpochsPerSeed = 1
+	}
+	if c.TxnsPerEpoch == 0 {
+		c.TxnsPerEpoch = 40
+	}
+	c.Chaos.ExemptManager = true
+	return c
+}
+
+func (c SoakConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// EpochResult is one epoch's outcome.
+type EpochResult struct {
+	// Seed and Epoch identify the run; ChaosSeed is the derived seed the
+	// chaos layer actually used.
+	Seed      int64
+	Epoch     int
+	ChaosSeed int64
+	// Txns, Committed, Aborted account for the epoch's transactions.
+	Txns, Committed, Aborted int
+	// AbortReasons counts aborts by reason string.
+	AbortReasons map[string]int
+	// Repairs counts false-suspicion repairs: a truly-up site that some
+	// other truly-up site declared failed (its ack lost to chaos) was
+	// failed and recovered by the manager to rejoin it to the group.
+	Repairs int
+	// RecoveryRetries counts recovery attempts that came back blocked
+	// because chaos ate the donor handshake, and were retried.
+	RecoveryRetries int
+	// AuditOK reports the epoch-end consistency audit; AuditDetail holds
+	// its rendering when it failed.
+	AuditOK     bool
+	AuditDetail string
+	// Chaos is the per-link decision counters — the reproducibility
+	// fingerprint of the epoch.
+	Chaos map[transport.LinkID]transport.LinkStats
+}
+
+// ChaosTotal folds the epoch's per-link counters into one.
+func (e *EpochResult) ChaosTotal() transport.LinkStats {
+	var total transport.LinkStats
+	for _, s := range e.Chaos {
+		total.Add(s)
+	}
+	return total
+}
+
+// SoakResult aggregates a whole soak run.
+type SoakResult struct {
+	// Epochs holds every epoch in run order.
+	Epochs []EpochResult
+	// Txns, Committed, Aborted aggregate across epochs.
+	Txns, Committed, Aborted int
+	// AbortReasons aggregates abort counts by reason.
+	AbortReasons map[string]int
+	// Violations counts epochs whose audit failed.
+	Violations int
+	// Percentiles merges every epoch's latency histograms and message
+	// counts.
+	Percentiles *PercentileReport
+}
+
+// OK reports whether every epoch audited clean.
+func (r *SoakResult) OK() bool { return r.Violations == 0 }
+
+// String renders the soak summary table.
+func (r *SoakResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Soak: %d epochs, %d txns (%d committed, %d aborted), %d audit violations\n",
+		len(r.Epochs), r.Txns, r.Committed, r.Aborted, r.Violations)
+	fmt.Fprintf(&b, "  %-6s %-5s %6s %6s %6s %7s %8s %8s %8s %8s  %s\n",
+		"seed", "epoch", "txns", "commit", "abort", "repairs", "sent", "dropped", "dup", "jitter", "audit")
+	for _, e := range r.Epochs {
+		total := e.ChaosTotal()
+		verdict := "ok"
+		if !e.AuditOK {
+			verdict = "VIOLATION"
+		}
+		fmt.Fprintf(&b, "  %-6d %-5d %6d %6d %6d %7d %8d %8d %8d %8v  %s\n",
+			e.Seed, e.Epoch, e.Txns, e.Committed, e.Aborted, e.Repairs,
+			total.Sent, total.Dropped, total.Duplicated, total.JitterTotal.Round(time.Millisecond), verdict)
+	}
+	if len(r.AbortReasons) > 0 {
+		fmt.Fprintf(&b, "Aborts by reason\n")
+		reasons := make([]string, 0, len(r.AbortReasons))
+		for reason := range r.AbortReasons {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			fmt.Fprintf(&b, "  %-52s %6d\n", reason, r.AbortReasons[reason])
+		}
+	}
+	return b.String()
+}
+
+// epochSeed derives the chaos seed for (root seed, epoch) with a
+// splitmix64-style mix, so epochs of one root seed see unrelated fault
+// streams but remain individually re-runnable.
+func epochSeed(seed int64, epoch int) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(epoch+1)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RunSoak drives the full soak: for every (seed, epoch) it builds a fresh
+// chaotic cluster, runs a generated fail/recover schedule with workload
+// traffic, heals the system, and audits copy consistency.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SoakResult{
+		AbortReasons: make(map[string]int),
+		Percentiles:  &PercentileReport{Hists: make(map[string]metrics.HistogramStat), Msgs: make(map[string]uint64)},
+	}
+	for _, seed := range cfg.Seeds {
+		for epoch := 0; epoch < cfg.EpochsPerSeed; epoch++ {
+			er, pct, err := runSoakEpoch(cfg, seed, epoch)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: soak seed %d epoch %d: %w", seed, epoch, err)
+			}
+			res.Epochs = append(res.Epochs, *er)
+			res.Txns += er.Txns
+			res.Committed += er.Committed
+			res.Aborted += er.Aborted
+			for reason, n := range er.AbortReasons {
+				res.AbortReasons[reason] += n
+			}
+			if !er.AuditOK {
+				res.Violations++
+			}
+			res.Percentiles.Merge(pct)
+			total := er.ChaosTotal()
+			cfg.logf("soak seed=%d epoch=%d: %d txns (%d committed), %d repairs, chaos sent=%d dropped=%d dup=%d, audit=%v",
+				seed, epoch, er.Txns, er.Committed, er.Repairs, total.Sent, total.Dropped, total.Duplicated, er.AuditOK)
+		}
+	}
+	return res, nil
+}
+
+// runSoakEpoch runs one epoch on a fresh cluster.
+func runSoakEpoch(cfg SoakConfig, seed int64, epoch int) (*EpochResult, *PercentileReport, error) {
+	base := cfg.Base
+	chaosCfg := cfg.Chaos
+	chaosCfg.Seed = epochSeed(seed, epoch)
+	er := &EpochResult{
+		Seed:         seed,
+		Epoch:        epoch,
+		ChaosSeed:    chaosCfg.Seed,
+		AbortReasons: make(map[string]int),
+	}
+
+	rng := rand.New(rand.NewSource(chaosCfg.Seed))
+	sched, err := failure.Random(failure.RandomConfig{
+		Sites:   base.Sites,
+		Txns:    cfg.TxnsPerEpoch,
+		MaxDown: cfg.MaxDown,
+	}, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ccfg := base.clusterConfig()
+	ccfg.Chaos = &chaosCfg
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer c.Close()
+
+	gen := workload.NewUniform(base.Items, base.MaxOps, chaosCfg.Seed)
+	gen.ReadFraction = base.ReadFraction
+
+	// trueUp is the manager's ground truth: which sites it has NOT
+	// ordered to fail. Chaos can make sites falsely suspect each other;
+	// it cannot change ground truth, which only the managing site's
+	// fail/recover orders move.
+	trueUp := make([]bool, base.Sites)
+	for i := range trueUp {
+		trueUp[i] = true
+	}
+
+	for txnNum := 1; txnNum <= cfg.TxnsPerEpoch; txnNum++ {
+		for _, e := range sched.EventsBefore(txnNum) {
+			switch e.Action {
+			case failure.Fail:
+				if err := c.Fail(e.Site); err != nil {
+					return nil, nil, fmt.Errorf("%s: %w", e, err)
+				}
+				trueUp[e.Site] = false
+			case failure.Recover:
+				n, err := c.RecoverWithRetry(e.Site, base.AckTimeout)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s: %w", e, err)
+				}
+				er.RecoveryRetries += n
+				trueUp[e.Site] = true
+			}
+		}
+
+		coord := pickCoordinator(trueUp, txnNum)
+		id := c.NextTxnID()
+		out, err := c.ExecTxn(coord, id, gen.Next(id))
+		if err != nil {
+			return nil, nil, fmt.Errorf("txn %d on %s: %w", txnNum, coord, err)
+		}
+		er.Txns++
+		if out.Committed {
+			er.Committed++
+		} else {
+			er.Aborted++
+			er.AbortReasons[out.AbortReason]++
+		}
+
+		// Chaos turns lost messages into false failure declarations: a
+		// dropped ack and the sender is announced failed system-wide,
+		// ostracized by sites that are themselves fine. Repair after
+		// every transaction so a falsely isolated site gets at most ~one
+		// transaction of solo divergence before it is rejoined (its
+		// writes fail-locked and refreshed through the normal recovery
+		// machinery).
+		n, err := c.RepairFalseSuspicions(trueUp, base.AckTimeout)
+		if err != nil {
+			return nil, nil, fmt.Errorf("repair after txn %d: %w", txnNum, err)
+		}
+		er.Repairs += n
+	}
+
+	// Heal: bring ground-truth-down sites back, clear any remaining
+	// false suspicions, then let in-flight decision timers (armed when a
+	// phase-two decision was dropped) expire before auditing.
+	for i, isUp := range trueUp {
+		if !isUp {
+			n, err := c.RecoverWithRetry(core.SiteID(i), base.AckTimeout)
+			if err != nil {
+				return nil, nil, fmt.Errorf("final recover %d: %w", i, err)
+			}
+			er.RecoveryRetries += n
+			trueUp[i] = true
+		}
+	}
+	n, err := c.RepairFalseSuspicions(trueUp, base.AckTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	er.Repairs += n
+	time.Sleep(5 * base.AckTimeout)
+	if n, err = c.RepairFalseSuspicions(trueUp, base.AckTimeout); err != nil {
+		return nil, nil, err
+	}
+	er.Repairs += n
+
+	report, err := c.Audit()
+	if err != nil {
+		return nil, nil, err
+	}
+	er.AuditOK = report.OK()
+	if !er.AuditOK {
+		er.AuditDetail = report.String()
+	}
+	pct := CollectPercentiles(c)
+	er.Chaos = c.ChaosStats()
+	return er, pct, nil
+}
+
+// pickCoordinator round-robins over the truly-up sites, matching the
+// paper's "transactions were processed on both sites" (§3.1).
+func pickCoordinator(trueUp []bool, txnNum int) core.SiteID {
+	var ups []core.SiteID
+	for i, u := range trueUp {
+		if u {
+			ups = append(ups, core.SiteID(i))
+		}
+	}
+	return ups[(txnNum-1)%len(ups)]
+}
+
+// recoverWithRetry and repairFalseSuspicions moved to
+// (*cluster.Cluster).RecoverWithRetry / RepairFalseSuspicions so tests
+// outside this package can heal false suspicions the same way.

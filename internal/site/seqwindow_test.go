@@ -1,0 +1,54 @@
+package site
+
+import "testing"
+
+func TestSeqWindowDropsExactDuplicates(t *testing.T) {
+	w := newSeqWindow(8)
+	for _, seq := range []uint64{5, 6, 7} {
+		if !w.add(seq) {
+			t.Fatalf("fresh seq %d rejected", seq)
+		}
+	}
+	for _, seq := range []uint64{5, 6, 7} {
+		if w.add(seq) {
+			t.Fatalf("duplicate seq %d accepted", seq)
+		}
+	}
+}
+
+// Out-of-order arrivals are not duplicates: concurrent calls on one
+// caller can hit the wire with seqs inverted, so a lower seq arriving
+// after a higher one must still be handled.
+func TestSeqWindowAcceptsOutOfOrder(t *testing.T) {
+	w := newSeqWindow(8)
+	if !w.add(10) {
+		t.Fatal("seq 10 rejected")
+	}
+	if !w.add(9) {
+		t.Fatal("out-of-order seq 9 rejected — watermark semantics leaked back in")
+	}
+	if w.add(10) || w.add(9) {
+		t.Fatal("replay accepted")
+	}
+}
+
+func TestSeqWindowEvictsOldest(t *testing.T) {
+	w := newSeqWindow(4)
+	for seq := uint64(1); seq <= 6; seq++ {
+		if !w.add(seq) {
+			t.Fatalf("fresh seq %d rejected", seq)
+		}
+	}
+	// 1 and 2 were evicted; re-adding them must succeed (the window only
+	// guarantees suppression within its capacity).
+	if !w.add(1) || !w.add(2) {
+		t.Fatal("evicted seqs rejected")
+	}
+	// 5 and 6 are still inside the window.
+	if w.add(5) || w.add(6) {
+		t.Fatal("in-window duplicate accepted")
+	}
+	if got := len(w.seen); got != 4 {
+		t.Fatalf("window holds %d seqs, want capacity 4", got)
+	}
+}

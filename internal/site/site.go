@@ -274,6 +274,22 @@ type Site struct {
 	// with the process).
 	locks *lockmgr.Manager
 
+	// reqSeen tracks, per sender, a bounded window of request sequence
+	// numbers already handled. A chaotic transport can deliver a request
+	// twice; replaying a Prepare after its Commit would re-stage the
+	// transaction and leak a decision timer that later fires as a
+	// spurious coordinator-failure announcement. A high-watermark check
+	// is NOT safe here: Caller assigns seqs atomically but sends outside
+	// any lock, so two concurrent calls on one caller can reach the wire
+	// out of order (concurrent mode multiplexes in-flight transactions
+	// over one caller) — a watermark would drop the late-arriving lower
+	// seq as a false duplicate. An exact-match window suffices because a
+	// chaos duplicate trails its original by at most the link's in-flight
+	// backlog. Replies bypass this (their Seq belongs to the requester's
+	// stream); Caller.Deliver already drops duplicate replies. Touched
+	// only by the run goroutine.
+	reqSeen map[core.SiteID]*seqWindow
+
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 }
@@ -307,6 +323,8 @@ func New(cfg Config, net transport.Network) (*Site, error) {
 		store:    cfg.Store,
 		locks:    newLockManager(cfg),
 		txnGate:  make(chan struct{}, gate),
+
+		reqSeen: make(map[core.SiteID]*seqWindow),
 	}
 	return s, nil
 }
@@ -400,8 +418,56 @@ func (s *Site) run() {
 			s.caller.Deliver(env)
 			continue
 		}
+		if env.Seq != 0 {
+			w := s.reqSeen[env.From]
+			if w == nil {
+				w = newSeqWindow(seqWindowSize)
+				s.reqSeen[env.From] = w
+			}
+			if !w.add(env.Seq) {
+				continue // duplicated request, already handled
+			}
+		}
 		s.handle(env)
 	}
+}
+
+// seqWindowSize bounds per-sender duplicate-suppression memory. It only
+// needs to exceed the number of messages a link can hold between an
+// original and its chaos duplicate (the duplicate is re-sent immediately
+// after the original, so that backlog is the per-link queue depth).
+const seqWindowSize = 1024
+
+// seqWindow is a fixed-capacity set of recently seen sequence numbers:
+// membership via map, FIFO eviction via ring.
+type seqWindow struct {
+	seen map[uint64]struct{}
+	ring []uint64
+	next int
+}
+
+func newSeqWindow(capacity int) *seqWindow {
+	return &seqWindow{
+		seen: make(map[uint64]struct{}, capacity),
+		ring: make([]uint64, 0, capacity),
+	}
+}
+
+// add records seq and reports true, or reports false if seq was already
+// in the window (a duplicate). Oldest entries are evicted at capacity.
+func (w *seqWindow) add(seq uint64) bool {
+	if _, dup := w.seen[seq]; dup {
+		return false
+	}
+	if len(w.ring) < cap(w.ring) {
+		w.ring = append(w.ring, seq)
+	} else {
+		delete(w.seen, w.ring[w.next])
+		w.ring[w.next] = seq
+		w.next = (w.next + 1) % len(w.ring)
+	}
+	w.seen[seq] = struct{}{}
+	return true
 }
 
 // adminAllowed reports whether a message may reach a site that is

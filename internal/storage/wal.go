@@ -269,7 +269,14 @@ func (s *WALStore) compactLocked() error {
 	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, snapshotFile)); err != nil {
 		return fmt.Errorf("storage: installing snapshot: %w", err)
 	}
-	// The log's contents are now covered by the snapshot.
+	// The rename must be durable before the log shrinks: without the
+	// directory fsync a crash can surface the old directory entry (old or
+	// missing snapshot) next to an already-truncated log, losing every
+	// committed write the old log held. Only after the directory entry is
+	// on disk is the log's content really covered by the snapshot.
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
 	if err := s.log.Truncate(0); err != nil {
 		return fmt.Errorf("storage: truncating log: %w", err)
 	}
@@ -278,6 +285,19 @@ func (s *WALStore) compactLocked() error {
 	}
 	s.appends = 0
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: opening dir for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("storage: syncing dir: %w", err)
+	}
+	return d.Close()
 }
 
 // Close implements Store.

@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+)
+
+// ChaosConfig parameterizes a Chaos network decorator. The zero value of
+// every fault field is "off": a config with Drop, Dup and MaxJitter all
+// zero is a byte-for-byte pass-through of the inner network.
+type ChaosConfig struct {
+	// Seed determines every fault decision. Each directed link derives its
+	// own rand.Source from (Seed, from, to), so the decision taken for the
+	// k-th message on a link is a pure function of (Seed, config, from, to,
+	// k): a run is exactly reproducible from its seed, and faults on one
+	// link do not perturb the decision stream of another.
+	Seed int64
+	// Drop is the per-message probability a message silently disappears.
+	Drop float64
+	// Dup is the per-message probability a delivered message is delivered
+	// twice (back to back, in order — the at-least-once behavior a
+	// retransmitting transport exhibits).
+	Dup float64
+	// MaxJitter bounds the extra latency injected per delivered message:
+	// each message is held for a uniform duration in [0, MaxJitter].
+	// Per-link FIFO order is preserved — jitter delays messages, it never
+	// reorders them.
+	MaxJitter time.Duration
+	// ExemptManager leaves links to and from the managing site untouched.
+	// The managing site is the experimenter's out-of-band console (§1.2);
+	// soak runs keep its control and measurement channel reliable while
+	// the inter-site protocol links misbehave.
+	ExemptManager bool
+}
+
+// active reports whether the config injects any fault at all.
+func (c ChaosConfig) active() bool {
+	return c.Drop > 0 || c.Dup > 0 || c.MaxJitter > 0
+}
+
+// LinkID names one directed link of the network.
+type LinkID struct {
+	From, To core.SiteID
+}
+
+// LinkStats counts one link's chaos decisions. Two runs with the same
+// (seed, config) and the same per-link message sequence produce identical
+// stats — the reproducibility check soak runs rely on.
+type LinkStats struct {
+	// Sent counts messages offered to the link.
+	Sent uint64
+	// Dropped counts messages the link silently discarded.
+	Dropped uint64
+	// Duplicated counts messages delivered twice.
+	Duplicated uint64
+	// JitterTotal is the summed injected latency, an exact fingerprint of
+	// the link's jitter draws.
+	JitterTotal time.Duration
+}
+
+// Add folds other into s.
+func (s *LinkStats) Add(other LinkStats) {
+	s.Sent += other.Sent
+	s.Dropped += other.Dropped
+	s.Duplicated += other.Duplicated
+	s.JitterTotal += other.JitterTotal
+}
+
+// Chaos is a fault-injection decorator over any Network: per-directed-link
+// probabilistic message drop, duplication and bounded latency jitter,
+// deterministically driven by one seeded rand.Source per link.
+//
+// It deliberately breaks the paper's reliability assumption (§1.2,
+// assumption 1: no loss, no duplication) while preserving per-link FIFO
+// order, so experiments can measure how the ack-timeout/announce machinery
+// behaves when messages actually misbehave. Exempt links (and every link
+// when no fault is configured) bypass the decorator entirely.
+type Chaos struct {
+	inner Network
+	cfg   ChaosConfig
+
+	mu     sync.Mutex
+	eps    map[core.SiteID]*chaosEndpoint
+	links  map[LinkID]*chaosLink
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewChaos wraps inner with seeded fault injection. Closing the returned
+// network closes inner too.
+func NewChaos(inner Network, cfg ChaosConfig) *Chaos {
+	return &Chaos{
+		inner: inner,
+		cfg:   cfg,
+		eps:   make(map[core.SiteID]*chaosEndpoint),
+		links: make(map[LinkID]*chaosLink),
+	}
+}
+
+// Endpoint implements Network.
+func (c *Chaos) Endpoint(id core.SiteID) (Endpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if ep, ok := c.eps[id]; ok {
+		return ep, nil
+	}
+	inner, err := c.inner.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	ep := &chaosEndpoint{net: c, inner: inner}
+	c.eps[id] = ep
+	return ep, nil
+}
+
+// Close implements Network: drain the fault pipelines, then close the
+// inner network.
+func (c *Chaos) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for _, l := range c.links {
+		l.q.close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return c.inner.Close()
+}
+
+// Stats snapshots every link's decision counters.
+func (c *Chaos) Stats() map[LinkID]LinkStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[LinkID]LinkStats, len(c.links))
+	for id, l := range c.links {
+		l.mu.Lock()
+		out[id] = l.stats
+		l.mu.Unlock()
+	}
+	return out
+}
+
+// TotalStats folds every link's counters into one.
+func (c *Chaos) TotalStats() LinkStats {
+	var total LinkStats
+	for _, s := range c.Stats() {
+		total.Add(s)
+	}
+	return total
+}
+
+// exempt reports whether the directed link from->to bypasses fault
+// injection.
+func (c *Chaos) exempt(from, to core.SiteID) bool {
+	if !c.cfg.active() {
+		return true
+	}
+	return c.cfg.ExemptManager && (from == core.ManagingSite || to == core.ManagingSite)
+}
+
+// linkFor returns the fault pipeline for from->to, creating it (and its
+// forwarder goroutine) on first use.
+func (c *Chaos) linkFor(from, to core.SiteID, inner Endpoint) (*chaosLink, error) {
+	key := LinkID{From: from, To: to}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	l, ok := c.links[key]
+	if !ok {
+		l = &chaosLink{
+			cfg:   c.cfg,
+			rng:   rand.New(rand.NewSource(linkSeed(c.cfg.Seed, from, to))),
+			inner: inner,
+			q:     newQueue[chaosItem](),
+		}
+		c.links[key] = l
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			l.run()
+		}()
+	}
+	return l, nil
+}
+
+// linkSeed derives a link's rand seed from the network seed and the link's
+// endpoints, via a splitmix64-style mix so neighboring links get unrelated
+// streams.
+func linkSeed(seed int64, from, to core.SiteID) int64 {
+	z := uint64(seed) ^ (uint64(from)+1)*0x9E3779B97F4A7C15 ^ (uint64(to)+1)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// chaosItem is one message in a link's fault pipeline.
+type chaosItem struct {
+	env *msg.Envelope
+	at  time.Time // enqueue time; jitter holds relative to this
+}
+
+// chaosLink serializes one directed link's messages through its seeded
+// decision stream: a single forwarder goroutine pops in FIFO order, draws
+// drop/jitter/dup decisions in a fixed order from the link's private rng,
+// and forwards survivors to the inner endpoint. Decisions therefore depend
+// only on the message's position in the link's send order, never on
+// wall-clock timing or cross-link interleaving.
+type chaosLink struct {
+	cfg   ChaosConfig
+	rng   *rand.Rand
+	inner Endpoint
+	q     *queue[chaosItem]
+
+	mu    sync.Mutex
+	stats LinkStats
+}
+
+func (l *chaosLink) run() {
+	for {
+		it, ok := l.q.pop()
+		if !ok {
+			return
+		}
+		// Fixed decision order: drop, then jitter, then dup. A draw is
+		// burned only when its fault is configured, so the stream is a
+		// pure function of (seed, config, position).
+		var delta LinkStats
+		delta.Sent = 1
+		dropped := l.cfg.Drop > 0 && l.rng.Float64() < l.cfg.Drop
+		var jitter time.Duration
+		var dup bool
+		if !dropped {
+			if l.cfg.MaxJitter > 0 {
+				jitter = time.Duration(l.rng.Int63n(int64(l.cfg.MaxJitter) + 1))
+				delta.JitterTotal = jitter
+			}
+			if l.cfg.Dup > 0 && l.rng.Float64() < l.cfg.Dup {
+				dup = true
+				delta.Duplicated = 1
+			}
+		} else {
+			delta.Dropped = 1
+		}
+		l.mu.Lock()
+		l.stats.Add(delta)
+		l.mu.Unlock()
+		if dropped {
+			continue
+		}
+		if d := jitter - time.Since(it.at); d > 0 {
+			// Hold until enqueueTime+jitter, not jitter after the previous
+			// delivery: messages pipeline, FIFO order is kept by the single
+			// forwarder.
+			time.Sleep(d)
+		}
+		// Send errors (shutdown races, partitioned inner links) are the
+		// inner network's delivery policy; a chaotic link is lossy by
+		// construction and has nobody to report them to.
+		_ = l.inner.Send(it.env)
+		if dup {
+			_ = l.inner.Send(it.env)
+		}
+	}
+}
+
+// chaosEndpoint decorates one site's attachment.
+type chaosEndpoint struct {
+	net   *Chaos
+	inner Endpoint
+}
+
+// ID implements Endpoint.
+func (ep *chaosEndpoint) ID() core.SiteID { return ep.inner.ID() }
+
+// Send implements Endpoint. On an exempt link it is the inner Send,
+// byte-for-byte; on a chaotic link the message enters the link's fault
+// pipeline and Send reports acceptance, with delivery best-effort from
+// there on — exactly the contract a lossy wire offers.
+func (ep *chaosEndpoint) Send(env *msg.Envelope) error {
+	from := ep.inner.ID()
+	if ep.net.exempt(from, env.To) {
+		return ep.inner.Send(env)
+	}
+	l, err := ep.net.linkFor(from, env.To, ep.inner)
+	if err != nil {
+		return err
+	}
+	if !l.q.push(chaosItem{env: env, at: time.Now()}) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (ep *chaosEndpoint) Recv() (*msg.Envelope, bool) { return ep.inner.Recv() }
+
+// Close implements Endpoint.
+func (ep *chaosEndpoint) Close() error { return ep.inner.Close() }
+
+var _ Network = (*Chaos)(nil)

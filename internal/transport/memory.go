@@ -49,7 +49,14 @@ type Memory struct {
 type linkKey struct{ from, to core.SiteID }
 
 type memLink struct {
-	q *queue[[]byte]
+	q *queue[memItem]
+}
+
+// memItem is one in-flight message on a link: the encoded bytes plus the
+// moment it was sent, from which the delivery deadline is derived.
+type memItem struct {
+	buf []byte
+	at  time.Time
 }
 
 // NewMemory returns an in-process network for cfg.
@@ -169,30 +176,45 @@ func (m *Memory) send(from, to core.SiteID, buf []byte) error {
 	}
 	l, ok := m.links[key]
 	if !ok {
-		l = &memLink{q: newQueue[[]byte]()}
+		l = &memLink{q: newQueue[memItem]()}
 		m.links[key] = l
 		m.wg.Add(1)
 		go m.deliver(l, to)
 	}
 	m.mu.Unlock()
-	l.q.push(buf)
-	m.sent.Add(1)
+	// Count only messages the link actually accepted: a push that lost the
+	// race with Close is dropped during shutdown and must not inflate the
+	// experiments' message-complexity columns.
+	if l.q.push(memItem{buf: buf, at: time.Now()}) {
+		m.sent.Add(1)
+	}
 	return nil
 }
 
-// deliver pumps one link: pops encoded messages in FIFO order, applies the
-// per-hop delay, decodes and hands the envelope to the destination inbox.
+// deliver pumps one link: pops encoded messages in FIFO order, holds each
+// until its delivery deadline, decodes and hands the envelope to the
+// destination inbox.
+//
+// The deadline is sendTime + Delay, so Delay behaves as per-message
+// *latency*: k messages queued to one destination all complete after ~1
+// Delay, pipelined as they would be on a real wire. (Sleeping Delay per pop
+// instead would space deliveries Delay apart, turning the paper's 9 ms
+// per-message cost into a bandwidth limit of one message per 9 ms per
+// link.) Per-link FIFO order is preserved: the single goroutine delivers in
+// pop order, and send timestamps on a link are non-decreasing.
 func (m *Memory) deliver(l *memLink, to core.SiteID) {
 	defer m.wg.Done()
 	for {
-		buf, ok := l.q.pop()
+		it, ok := l.q.pop()
 		if !ok {
 			return
 		}
 		if m.cfg.Delay > 0 {
-			time.Sleep(m.cfg.Delay)
+			if d := m.cfg.Delay - time.Since(it.at); d > 0 {
+				time.Sleep(d)
+			}
 		}
-		env, err := msg.Unmarshal(buf)
+		env, err := msg.Unmarshal(it.buf)
 		if err != nil {
 			// A memory link cannot corrupt data; an error here is a
 			// programming bug in the codec and must be loud.

@@ -7,10 +7,17 @@ import "sync"
 // a bounded channel could introduce between sites that are simultaneously
 // sending to each other; memory is bounded in practice by the protocol's
 // request/response discipline.
+//
+// Storage is a head-indexed slice: pop reads items[head] and zeroes the
+// slot (so delivered envelopes are released for GC immediately) instead of
+// copy-shifting the whole backing slice, which made draining a burst of n
+// queued messages O(n²). The dead prefix is reclaimed when the queue
+// empties and folded away when the slice would otherwise grow.
 type queue[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []T
+	head   int
 	closed bool
 }
 
@@ -28,9 +35,26 @@ func (q *queue[T]) push(item T) bool {
 	if q.closed {
 		return false
 	}
+	if q.head > 0 && len(q.items) == cap(q.items) {
+		// About to grow: fold the dead prefix away first so the backing
+		// array only grows when there are genuinely more live items.
+		n := copy(q.items, q.items[q.head:])
+		clearTail(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
 	q.items = append(q.items, item)
 	q.cond.Signal()
 	return true
+}
+
+// clearTail zeroes slots that held live items so their referents are not
+// pinned by the backing array.
+func clearTail[T any](s []T) {
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
 }
 
 // pop removes the oldest item, blocking while the queue is empty. It
@@ -38,19 +62,23 @@ func (q *queue[T]) push(item T) bool {
 func (q *queue[T]) pop() (item T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		var zero T
 		return zero, false
 	}
-	item = q.items[0]
-	// Shift rather than reslice so the backing array does not pin
-	// delivered envelopes.
-	copy(q.items, q.items[1:])
-	q.items[len(q.items)-1] = *new(T)
-	q.items = q.items[:len(q.items)-1]
+	item = q.items[q.head]
+	// Zero the slot so the backing array does not pin the delivered
+	// envelope.
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return item, true
 }
 
@@ -67,5 +95,5 @@ func (q *queue[T]) close() {
 func (q *queue[T]) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return len(q.items) - q.head
 }
