@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"minraid/internal/experiment"
+	"minraid/internal/policy"
 	"minraid/internal/transport"
 )
 
@@ -17,38 +19,52 @@ import (
 //
 //	raid-experiments soak                      # 5 seeds, default chaos
 //	raid-experiments soak -seeds 1,2,3 -txns 60 -drop 0.03
+//	raid-experiments soak -partitions          # + scheduled link cuts
+//	raid-experiments soak -transport tcp       # loopback TCP fabric
+//	raid-experiments soak -persist ./walstate  # carry WAL stores across epochs
 //
 // Each (seed, epoch) builds a fresh cluster on a seeded chaotic network,
 // runs a generated fail/recover schedule with workload traffic, and audits
-// copy consistency. Exit status is non-zero on any audit violation, and —
-// unless -repro=false — the first epoch is re-run afterwards to prove the
-// chaos layer's determinism: same seed, identical per-link drop/dup/jitter
-// decisions.
+// copy consistency. With -partitions a deterministic link-fault schedule
+// (symmetric partitions, one-way drops, partial cuts, heals) runs on top,
+// and split brain is reconciled at every heal. Exit status is non-zero on
+// any audit violation, and — unless -repro=false — the first epoch is
+// re-run afterwards to prove determinism: same seed, identical partition
+// event stream and per-link drop/dup/jitter/cut decisions.
 func runSoak(args []string) {
 	fs := flag.NewFlagSet("soak", flag.ExitOnError)
 	var (
-		seeds  = fs.String("seeds", "1,2,3,4,5", "comma-separated root seeds")
-		epochs = fs.Int("epochs", 1, "epochs per seed")
-		txns   = fs.Int("txns", 40, "transactions per epoch")
-		sites  = fs.Int("sites", 4, "database sites")
-		items  = fs.Int("items", 30, "database items")
-		drop   = fs.Float64("drop", 0.02, "per-message drop probability on site-to-site links")
-		dup    = fs.Float64("dup", 0.02, "per-message duplication probability")
-		jitter = fs.Duration("jitter", 5*time.Millisecond, "max injected per-message latency (keep well below -ack)")
-		delay  = fs.Duration("delay", 0, "per-hop communication cost")
-		ack    = fs.Duration("ack", 50*time.Millisecond, "failure-detection ack timeout")
-		repro  = fs.Bool("repro", true, "re-run the first epoch and verify identical chaos decisions")
-		pct    = fs.Bool("percentiles", false, "also print p50/p95/p99 latency tables per event class")
-		quiet  = fs.Bool("q", false, "suppress per-epoch progress lines")
+		seeds      = fs.String("seeds", "1,2,3,4,5", "comma-separated root seeds")
+		epochs     = fs.Int("epochs", 1, "epochs per seed")
+		txns       = fs.Int("txns", 40, "transactions per epoch")
+		sites      = fs.Int("sites", 4, "database sites")
+		items      = fs.Int("items", 30, "database items")
+		drop       = fs.Float64("drop", 0.02, "per-message drop probability on site-to-site links")
+		dup        = fs.Float64("dup", 0.02, "per-message duplication probability")
+		jitter     = fs.Duration("jitter", 5*time.Millisecond, "max injected per-message latency (keep well below -ack)")
+		delay      = fs.Duration("delay", 0, "per-hop communication cost")
+		ack        = fs.Duration("ack", 50*time.Millisecond, "failure-detection ack timeout")
+		partitions = fs.Bool("partitions", false, "schedule deterministic link faults (partitions, one-way drops, cuts) and reconcile split brain at heals")
+		policyName = fs.String("policy", "rowaa", "replication policy: rowaa, rowa or quorum")
+		trans      = fs.String("transport", "memory", "wire: memory or tcp (tcp also re-runs in memory and compares abort profiles)")
+		persist    = fs.String("persist", "", "directory for write-ahead-logged stores carried across a seed's epochs (empty: in-memory stores)")
+		repro      = fs.Bool("repro", true, "re-run the first epoch and verify identical partition events and chaos decisions")
+		pct        = fs.Bool("percentiles", false, "also print p50/p95/p99 latency tables per event class")
+		quiet      = fs.Bool("q", false, "suppress per-epoch progress lines")
 	)
 	fs.Parse(args)
 
+	pol, known := policy.ByName(*policyName)
+	if !known {
+		fail(fmt.Errorf("unknown policy %q (want rowaa, rowa or quorum)", *policyName))
+	}
 	cfg := experiment.SoakConfig{
 		Base: experiment.Config{
 			Sites:      *sites,
 			Items:      *items,
 			Delay:      *delay,
 			AckTimeout: *ack,
+			Policy:     pol,
 		},
 		Seeds:         parseSeeds(*seeds),
 		EpochsPerSeed: *epochs,
@@ -58,19 +74,32 @@ func runSoak(args []string) {
 			Dup:       *dup,
 			MaxJitter: *jitter,
 		},
+		Partitions: *partitions,
+		Transport:  *trans,
+		WALDir:     *persist,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
 	}
 
-	header(fmt.Sprintf("Chaos soak: %d seed(s) x %d epoch(s) x %d txns (drop=%v dup=%v jitter=%v)",
-		len(cfg.Seeds), cfg.EpochsPerSeed, cfg.TxnsPerEpoch, *drop, *dup, *jitter))
+	mode := ""
+	if *partitions {
+		mode = ", partitions on"
+	}
+	header(fmt.Sprintf("Chaos soak: %d seed(s) x %d epoch(s) x %d txns (policy=%s transport=%s drop=%v dup=%v jitter=%v%s)",
+		len(cfg.Seeds), cfg.EpochsPerSeed, cfg.TxnsPerEpoch, *policyName, *trans, *drop, *dup, *jitter, mode))
 	res, err := experiment.RunSoak(cfg)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println()
 	fmt.Print(res)
+	if *partitions {
+		for _, e := range res.Epochs {
+			fmt.Printf("seed %d epoch %d partition schedule (fingerprint %016x): %s\n",
+				e.Seed, e.Epoch, e.NetFingerprint, strings.Join(e.NetEvents, "; "))
+		}
+	}
 	for _, e := range res.Epochs {
 		if !e.AuditOK {
 			fmt.Printf("\nseed %d epoch %d audit detail:\n%s\n", e.Seed, e.Epoch, e.AuditDetail)
@@ -79,13 +108,19 @@ func runSoak(args []string) {
 	percentiles(*pct, res.Percentiles)
 
 	ok := res.OK()
+	if *trans == "tcp" {
+		if err := compareTransports(cfg, res); err != nil {
+			fmt.Fprintln(os.Stderr, "raid-experiments: soak:", err)
+			ok = false
+		}
+	}
 	if *repro && len(res.Epochs) > 0 {
 		if err := verifyRepro(cfg, res.Epochs[0]); err != nil {
 			fmt.Fprintln(os.Stderr, "raid-experiments: soak:", err)
 			ok = false
 		} else {
-			fmt.Printf("\nrepro check: seed %d epoch %d re-run reproduced identical chaos decisions on %d links\n",
-				res.Epochs[0].Seed, res.Epochs[0].Epoch, len(res.Epochs[0].Chaos))
+			fmt.Printf("\nrepro check: seed %d epoch %d re-run reproduced identical partition events (%d) and chaos decisions on %d links\n",
+				res.Epochs[0].Seed, res.Epochs[0].Epoch, len(res.Epochs[0].NetEvents), len(res.Epochs[0].Chaos))
 		}
 	}
 	if !ok {
@@ -93,20 +128,78 @@ func runSoak(args []string) {
 	}
 }
 
-// verifyRepro re-runs one epoch and compares the chaos layer's per-link
-// decision counters against the first run's.
+// verifyRepro re-runs one epoch and compares the partition event stream
+// and the chaos layer's per-link decision counters against the first
+// run's. With persistence the re-run gets a fresh state directory so it
+// starts from the same empty stores the first epoch saw.
 func verifyRepro(cfg experiment.SoakConfig, first experiment.EpochResult) error {
 	cfg.Seeds = []int64{first.Seed}
 	cfg.EpochsPerSeed = 1
 	cfg.Logf = nil
+	if cfg.WALDir != "" {
+		dir, err := os.MkdirTemp("", "raid-soak-repro-")
+		if err != nil {
+			return fmt.Errorf("repro re-run: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.WALDir = dir
+	}
 	rerun, err := experiment.RunSoak(cfg)
 	if err != nil {
 		return fmt.Errorf("repro re-run: %w", err)
 	}
-	got := rerun.Epochs[0].Chaos
-	if !reflect.DeepEqual(got, first.Chaos) {
+	re := rerun.Epochs[0]
+	if !reflect.DeepEqual(re.NetEvents, first.NetEvents) || re.NetFingerprint != first.NetFingerprint {
+		return fmt.Errorf("repro check failed: seed %d epoch %d produced a different partition schedule:\nfirst: %016x %v\nrerun: %016x %v",
+			first.Seed, first.Epoch, first.NetFingerprint, first.NetEvents, re.NetFingerprint, re.NetEvents)
+	}
+	if !reflect.DeepEqual(re.Chaos, first.Chaos) {
 		return fmt.Errorf("repro check failed: seed %d epoch %d produced different chaos decisions:\nfirst: %s\nrerun: %s",
-			first.Seed, first.Epoch, fmtChaos(first.Chaos), fmtChaos(got))
+			first.Seed, first.Epoch, fmtChaos(first.Chaos), fmtChaos(re.Chaos))
+	}
+	return nil
+}
+
+// compareTransports re-runs the soak on the in-memory transport and
+// prints the abort-reason profiles side by side: the wire changes framing
+// and delivery mechanics, not protocol outcomes, so the profiles should
+// tell the same story.
+func compareTransports(cfg experiment.SoakConfig, tcpRes *experiment.SoakResult) error {
+	cfg.Transport = "memory"
+	cfg.Logf = nil
+	if cfg.WALDir != "" {
+		dir, err := os.MkdirTemp("", "raid-soak-mem-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.WALDir = dir
+	}
+	memRes, err := experiment.RunSoak(cfg)
+	if err != nil {
+		return fmt.Errorf("in-memory comparison run: %w", err)
+	}
+	fmt.Printf("\nAbort profile, tcp vs memory (same seeds and schedules)\n")
+	fmt.Printf("  %-52s %8s %8s\n", "reason", "tcp", "memory")
+	reasons := make(map[string]bool)
+	for r := range tcpRes.AbortReasons {
+		reasons[r] = true
+	}
+	for r := range memRes.AbortReasons {
+		reasons[r] = true
+	}
+	keys := make([]string, 0, len(reasons))
+	for r := range reasons {
+		keys = append(keys, r)
+	}
+	sort.Strings(keys)
+	for _, r := range keys {
+		fmt.Printf("  %-52s %8d %8d\n", r, tcpRes.AbortReasons[r], memRes.AbortReasons[r])
+	}
+	fmt.Printf("  %-52s %8d %8d\n", "total aborts", tcpRes.Aborted, memRes.Aborted)
+	fmt.Printf("  %-52s %8d %8d\n", "committed", tcpRes.Committed, memRes.Committed)
+	if !memRes.OK() {
+		return fmt.Errorf("in-memory comparison run had %d audit violations", memRes.Violations)
 	}
 	return nil
 }
@@ -116,8 +209,8 @@ func fmtChaos(m map[transport.LinkID]transport.LinkStats) string {
 	for _, s := range m {
 		total.Add(s)
 	}
-	return fmt.Sprintf("links=%d sent=%d dropped=%d dup=%d jitter=%v",
-		len(m), total.Sent, total.Dropped, total.Duplicated, total.JitterTotal)
+	return fmt.Sprintf("links=%d sent=%d dropped=%d dup=%d cut=%d jitter=%v",
+		len(m), total.Sent, total.Dropped, total.Duplicated, total.Cut, total.JitterTotal)
 }
 
 func parseSeeds(s string) []int64 {

@@ -69,6 +69,79 @@ func (c *Cluster) Replicas() *core.ReplicaMap {
 // probes. It should be run while no transactions are in flight.
 func (c *Cluster) Audit() (AuditReport, error) { return Audit(c) }
 
+// AuditQuorum verifies the quorum-consensus invariant: for every item,
+// at least sites−readQuorum+1 operational copies hold the latest
+// committed version, so any read quorum intersects the fresh copies —
+// divergence is impossible by construction, no fail-locks involved. Two
+// copies at the same version with different values is the hard
+// violation: committed divergence, which quorum writes can never
+// produce. Run it fully healed with every site up; quorum holds its
+// invariant through partitions (the minority side aborts), but a down
+// site hides copies this audit must count.
+func (c *Cluster) AuditQuorum() (AuditReport, error) {
+	if c.cfg.Policy == nil {
+		return AuditReport{}, fmt.Errorf("cluster: quorum audit needs a quorum policy")
+	}
+	return AuditQuorum(c, c.cfg.Policy.ReadQuorum(c.cfg.Sites))
+}
+
+// AuditQuorum runs the quorum-visibility audit through any Prober.
+func AuditQuorum(p Prober, readQuorum int) (AuditReport, error) {
+	var report AuditReport
+	sites, items := p.Sites(), p.Items()
+	dumps := make([][]core.ItemVersion, sites)
+	for i := 0; i < sites; i++ {
+		id := core.SiteID(i)
+		st, err := p.Status(id, false)
+		if err != nil {
+			return report, err
+		}
+		if st.State != core.StatusUp {
+			return report, fmt.Errorf("cluster: quorum audit needs every site up; %s is %s", id, st.State)
+		}
+		dump, err := p.Dump(id)
+		if err != nil {
+			return report, err
+		}
+		if len(dump) != items {
+			return report, fmt.Errorf("cluster: %s returned %d copies for %d items", id, len(dump), items)
+		}
+		dumps[i] = dump
+	}
+	need := sites - readQuorum + 1
+	for item := 0; item < items; item++ {
+		report.ItemsChecked++
+		var fresh core.ItemVersion
+		for i := 0; i < sites; i++ {
+			report.CopiesCompared++
+			if iv := dumps[i][item]; iv.Version > fresh.Version {
+				fresh = iv
+			}
+		}
+		atFresh := 0
+		for i := 0; i < sites; i++ {
+			iv := dumps[i][item]
+			if iv.Version != fresh.Version {
+				report.StaleCopies++
+				continue
+			}
+			if !bytes.Equal(iv.Value, fresh.Value) {
+				report.Violations = append(report.Violations, fmt.Sprintf(
+					"item %d: %s holds version %d with a different value — committed divergence",
+					item, core.SiteID(i), iv.Version))
+				continue
+			}
+			atFresh++
+		}
+		if fresh.Version != 0 && atFresh < need {
+			report.Violations = append(report.Violations, fmt.Sprintf(
+				"item %d: only %d copies at fresh version %d, read quorum %d needs %d",
+				item, atFresh, fresh.Version, readQuorum, need))
+		}
+	}
+	return report, nil
+}
+
 // Audit runs the consistency audit through any Prober.
 func Audit(p Prober) (AuditReport, error) {
 	var report AuditReport

@@ -61,23 +61,35 @@ type Config struct {
 	// per-kind message counts from the transport. Nil allocates a shared
 	// recorder with the default capacity.
 	Tracer *trace.Recorder
-	// Chaos, when non-nil, wraps the memory transport in a seeded
+	// Chaos, when non-nil, wraps the transport in a seeded
 	// fault-injection layer (per-link message drop, duplication and
 	// latency jitter) — the adversarial wire the paper's assumption 1
 	// rules out. Managing-site links should normally stay exempt
 	// (ChaosConfig.ExemptManager) so control and measurement traffic
 	// remains reliable while the protocol links misbehave.
 	Chaos *transport.ChaosConfig
+	// Transport selects the wire: "" or "memory" runs the in-process
+	// memory transport; "tcp" assembles a loopback TCP fabric — one
+	// listener per site plus the manager, CRC framing, reconnect and
+	// per-sender dedup — so the soak exercises the cross-process wire.
+	Transport string
+	// TxnIDBase offsets transaction-ID allocation: the first ID handed
+	// out is TxnIDBase+1. Multi-epoch soaks that persist stores across
+	// cluster instances use it to keep item versions (= txn IDs)
+	// monotone across epochs; 0 numbers from 1 as the paper does.
+	TxnIDBase uint64
 }
 
 // Cluster is a running mini-RAID system.
 type Cluster struct {
 	cfg Config
-	// net is the underlying memory transport; network is what sites
-	// attach to — net itself, or the chaos decorator around it.
+	// net is the underlying memory transport (nil on the TCP fabric);
+	// network is what sites attach to — net itself, the chaos decorator
+	// around it, or the TCP fabric.
 	net     *transport.Memory
 	network transport.Network
 	chaos   *transport.Chaos
+	fabric  *tcpFabric
 	sites   []*site.Site
 	mgr     transport.Endpoint
 	caller  *transport.Caller
@@ -104,13 +116,26 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = trace.NewRecorder(0)
 	}
-	net := transport.NewMemory(transport.MemoryConfig{Sites: cfg.Sites, Delay: cfg.Delay})
-	net.SetTracer(cfg.Tracer)
-	c := &Cluster{cfg: cfg, net: net, network: net, tracer: cfg.Tracer}
-	if cfg.Chaos != nil {
-		c.chaos = transport.NewChaos(net, *cfg.Chaos)
-		c.network = c.chaos
+	c := &Cluster{cfg: cfg, tracer: cfg.Tracer}
+	switch cfg.Transport {
+	case "", "memory":
+		net := transport.NewMemory(transport.MemoryConfig{Sites: cfg.Sites, Delay: cfg.Delay})
+		net.SetTracer(cfg.Tracer)
+		c.net, c.network = net, net
+		if cfg.Chaos != nil {
+			c.chaos = transport.NewChaos(net, *cfg.Chaos)
+			c.network = c.chaos
+		}
+	case "tcp":
+		fabric, err := newTCPFabric(cfg.Sites, cfg.Chaos, cfg.Tracer)
+		if err != nil {
+			return nil, err
+		}
+		c.fabric, c.network = fabric, fabric
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %q", cfg.Transport)
 	}
+	c.nextTxn.Store(cfg.TxnIDBase)
 
 	for i := 0; i < cfg.Sites; i++ {
 		id := core.SiteID(i)
@@ -207,29 +232,49 @@ func (c *Cluster) adminTrace() uint64 {
 	return uint64(trace.AdminBase) + c.nextAdmin.Add(1)
 }
 
-// MessagesSent returns the network-wide message count.
-func (c *Cluster) MessagesSent() uint64 { return c.net.MessagesSent() }
+// MessagesSent returns the network-wide message count (memory transport
+// only; the TCP fabric reports 0 — use the tracer's per-kind counts).
+func (c *Cluster) MessagesSent() uint64 {
+	if c.net == nil {
+		return 0
+	}
+	return c.net.MessagesSent()
+}
 
 // ChaosStats snapshots the chaos layer's per-link decision counters, or
 // nil when the cluster runs without chaos. Two runs with the same chaos
 // seed and workload produce identical counters — the reproducibility
-// check soak runs assert.
+// check soak runs assert. Administrative cuts (SetLinkDown through the
+// chaos layer) appear in the Cut field.
 func (c *Cluster) ChaosStats() map[transport.LinkID]transport.LinkStats {
-	if c.chaos == nil {
-		return nil
+	if c.chaos != nil {
+		return c.chaos.Stats()
 	}
-	return c.chaos.Stats()
+	if c.fabric != nil {
+		return c.fabric.Stats()
+	}
+	return nil
 }
 
 // SetLinkDown makes the directed link from->to silently drop messages, or
-// restores it. Managing-site links are unaffected.
+// restores it. Managing-site links are unaffected. The cut is applied at
+// the highest layer running — the chaos decorator (where it is counted
+// in LinkStats.Cut), the TCP fabric's per-site chaos wrappers, or the
+// bare memory transport.
 func (c *Cluster) SetLinkDown(from, to core.SiteID, down bool) {
-	c.net.SetLinkDown(from, to, down)
+	switch {
+	case c.chaos != nil:
+		c.chaos.SetLinkDown(from, to, down)
+	case c.fabric != nil:
+		c.fabric.SetLinkDown(from, to, down)
+	default:
+		c.net.SetLinkDown(from, to, down)
+	}
 }
 
 // SetLinkDropAfter lets the directed link from->to deliver n more messages
 // and then drop the rest (negative n removes the limit) — fault injection
-// for mid-protocol failures.
+// for mid-protocol failures. Memory transport only.
 func (c *Cluster) SetLinkDropAfter(from, to core.SiteID, n int) {
 	c.net.SetLinkDropAfter(from, to, n)
 }
@@ -243,15 +288,21 @@ func (c *Cluster) SetLinkDropAfter(from, to core.SiteID, n int) {
 func (c *Cluster) Partition(groupA, groupB []core.SiteID, down bool) {
 	for _, a := range groupA {
 		for _, b := range groupB {
-			c.net.SetLinkDown(a, b, down)
-			c.net.SetLinkDown(b, a, down)
+			c.SetLinkDown(a, b, down)
+			c.SetLinkDown(b, a, down)
 		}
 	}
 }
 
 // NextTxnID allocates the next transaction identifier. The managing site
-// numbers transactions sequentially from 1, as the paper does.
+// numbers transactions sequentially from TxnIDBase+1 (from 1, as the
+// paper does, unless a multi-epoch soak carries the counter forward).
 func (c *Cluster) NextTxnID() core.TxnID { return core.TxnID(c.nextTxn.Add(1)) }
+
+// LastTxnID returns the highest transaction ID allocated so far (or
+// TxnIDBase if none were). A persisting soak feeds this into the next
+// epoch's TxnIDBase so on-disk item versions stay monotone.
+func (c *Cluster) LastTxnID() uint64 { return c.nextTxn.Load() }
 
 // Errors returned by the managing-site operations.
 var (

@@ -37,6 +37,15 @@ func (c *Cluster) RecoverWithRetry(id core.SiteID, ackTimeout time.Duration) (in
 // of which sites have not been ordered to fail; the managing site always
 // has it, since its orders are the only source of real failures.
 func (c *Cluster) RepairFalseSuspicions(trueUp []bool, ackTimeout time.Duration) (int, error) {
+	return c.RepairFalseSuspicionsWhere(trueUp, nil, ackTimeout)
+}
+
+// RepairFalseSuspicionsWhere is RepairFalseSuspicions restricted to the
+// (observer, suspect) pairs eligible accepts (nil accepts every pair). A
+// partition-aware soak excludes pairs touched by the active network
+// episode: their suspicion is legitimate evidence of the cut, not a false
+// positive, and resolving it must wait for heal-time reconciliation.
+func (c *Cluster) RepairFalseSuspicionsWhere(trueUp []bool, eligible func(observer, suspect core.SiteID) bool, ackTimeout time.Duration) (int, error) {
 	repairs := 0
 	maxRounds := 2 * len(trueUp)
 	for round := 0; round < maxRounds; round++ {
@@ -53,6 +62,9 @@ func (c *Cluster) RepairFalseSuspicions(trueUp []bool, ackTimeout time.Duration)
 			}
 			for b, rec := range st.Vector {
 				if b != a && trueUp[b] && rec.Status != core.StatusUp {
+					if eligible != nil && !eligible(core.SiteID(a), core.SiteID(b)) {
+						continue
+					}
 					suspect = core.SiteID(b)
 					found = true
 					break probe

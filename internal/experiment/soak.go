@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -11,6 +13,8 @@ import (
 	"minraid/internal/core"
 	"minraid/internal/failure"
 	"minraid/internal/metrics"
+	"minraid/internal/netsched"
+	"minraid/internal/storage"
 	"minraid/internal/transport"
 	"minraid/internal/workload"
 )
@@ -41,6 +45,24 @@ type SoakConfig struct {
 	// MaxDown caps simultaneously failed sites in generated schedules
 	// (default sites-1).
 	MaxDown int
+	// Partitions enables the netsched link-fault scheduler: each epoch
+	// derives a deterministic partition/one-way/cut event stream from
+	// its seed, keeps issuing workload on both sides of every cut, and
+	// reconciles split brain at heal time through the paper's machinery
+	// (session-vector comparison, fail-lock collection, copier
+	// transactions).
+	Partitions bool
+	// Transport selects the wire: "" or "memory" for the in-process
+	// transport, "tcp" for the loopback TCP fabric (one listener per
+	// site, CRC framing, per-sender dedup) with the same chaos layer.
+	Transport string
+	// WALDir, when non-empty, persists every site's database in
+	// write-ahead-logged stores under WALDir/seedN/siteK and carries
+	// them across the seed's epochs: an epoch boundary becomes a
+	// whole-system crash (close) and restart (reopen) instead of a
+	// fresh database. Transaction IDs stay monotone across the seed's
+	// epochs so on-disk item versions never regress.
+	WALDir string
 	// Logf, when non-nil, receives per-epoch progress lines.
 	Logf func(format string, args ...any)
 }
@@ -84,6 +106,30 @@ type EpochResult struct {
 	// RecoveryRetries counts recovery attempts that came back blocked
 	// because chaos ate the donor handshake, and were retried.
 	RecoveryRetries int
+	// NetEvents is the partition scheduler's event stream in canonical
+	// rendering, and NetFingerprint its FNV-1a hash — the determinism
+	// witness the -repro check compares. Empty unless Partitions is on.
+	NetEvents      []string
+	NetFingerprint uint64
+	// PartitionTxns counts transactions issued while some link was down;
+	// PartitionAborts those of them that aborted, classified by
+	// PartitionAbortReasons (the partition-time rejection profile).
+	PartitionTxns, PartitionAborts int
+	PartitionAbortReasons          map[string]int
+	// SplitBrains counts reconciliations that detected mutual suspicion
+	// or divergent copies; DivergentItems totals items found at
+	// differing versions across sites; LocksSet and LocksCleared the
+	// fail-lock edits reconciliation installed to re-track staleness.
+	SplitBrains, DivergentItems int
+	LocksSet, LocksCleared      int
+	// DrainCopiers counts copier transactions run to drain fail-locks at
+	// epoch end; LocksAfterDrain is what was left (0 for a clean epoch).
+	DrainCopiers, LocksAfterDrain int
+	// DeferredRecoveries counts scheduled recoveries that found no
+	// reachable donor (recovery blocked, §3.2) and waited for the heal;
+	// SkippedFails counts scheduled failures skipped because a deferred
+	// recovery left the schedule's model of the up-set ahead of reality.
+	DeferredRecoveries, SkippedFails int
 	// AuditOK reports the epoch-end consistency audit; AuditDetail holds
 	// its rendering when it failed.
 	AuditOK     bool
@@ -110,6 +156,15 @@ type SoakResult struct {
 	Txns, Committed, Aborted int
 	// AbortReasons aggregates abort counts by reason.
 	AbortReasons map[string]int
+	// PartitionTxns, PartitionAborts, SplitBrains, DivergentItems,
+	// LocksSet, LocksCleared and DrainCopiers aggregate the partition
+	// scheduler's accounting across epochs.
+	PartitionTxns, PartitionAborts int
+	SplitBrains, DivergentItems    int
+	LocksSet, LocksCleared         int
+	DrainCopiers                   int
+	// PartitionAbortReasons aggregates partition-time aborts by reason.
+	PartitionAbortReasons map[string]int
 	// Violations counts epochs whose audit failed.
 	Violations int
 	// Percentiles merges every epoch's latency histograms and message
@@ -125,29 +180,40 @@ func (r *SoakResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Soak: %d epochs, %d txns (%d committed, %d aborted), %d audit violations\n",
 		len(r.Epochs), r.Txns, r.Committed, r.Aborted, r.Violations)
-	fmt.Fprintf(&b, "  %-6s %-5s %6s %6s %6s %7s %8s %8s %8s %8s  %s\n",
-		"seed", "epoch", "txns", "commit", "abort", "repairs", "sent", "dropped", "dup", "jitter", "audit")
+	fmt.Fprintf(&b, "  %-6s %-5s %6s %6s %6s %7s %8s %8s %8s %8s %8s  %s\n",
+		"seed", "epoch", "txns", "commit", "abort", "repairs", "sent", "dropped", "dup", "cut", "jitter", "audit")
 	for _, e := range r.Epochs {
 		total := e.ChaosTotal()
 		verdict := "ok"
 		if !e.AuditOK {
 			verdict = "VIOLATION"
 		}
-		fmt.Fprintf(&b, "  %-6d %-5d %6d %6d %6d %7d %8d %8d %8d %8v  %s\n",
+		fmt.Fprintf(&b, "  %-6d %-5d %6d %6d %6d %7d %8d %8d %8d %8d %8v  %s\n",
 			e.Seed, e.Epoch, e.Txns, e.Committed, e.Aborted, e.Repairs,
-			total.Sent, total.Dropped, total.Duplicated, total.JitterTotal.Round(time.Millisecond), verdict)
+			total.Sent, total.Dropped, total.Duplicated, total.Cut,
+			total.JitterTotal.Round(time.Millisecond), verdict)
 	}
-	if len(r.AbortReasons) > 0 {
-		fmt.Fprintf(&b, "Aborts by reason\n")
-		reasons := make([]string, 0, len(r.AbortReasons))
-		for reason := range r.AbortReasons {
-			reasons = append(reasons, reason)
+	if r.PartitionTxns > 0 || r.SplitBrains > 0 {
+		fmt.Fprintf(&b, "Partitions: %d partition-time txns (%d aborted), %d split-brain reconciliations, %d divergent items, fail-lock edits +%d/-%d, %d drain copiers\n",
+			r.PartitionTxns, r.PartitionAborts, r.SplitBrains, r.DivergentItems,
+			r.LocksSet, r.LocksCleared, r.DrainCopiers)
+	}
+	writeReasons := func(title string, reasons map[string]int) {
+		if len(reasons) == 0 {
+			return
 		}
-		sort.Strings(reasons)
-		for _, reason := range reasons {
-			fmt.Fprintf(&b, "  %-52s %6d\n", reason, r.AbortReasons[reason])
+		fmt.Fprintf(&b, "%s\n", title)
+		keys := make([]string, 0, len(reasons))
+		for reason := range reasons {
+			keys = append(keys, reason)
+		}
+		sort.Strings(keys)
+		for _, reason := range keys {
+			fmt.Fprintf(&b, "  %-52s %6d\n", reason, reasons[reason])
 		}
 	}
+	writeReasons("Aborts by reason", r.AbortReasons)
+	writeReasons("Partition-time aborts by reason", r.PartitionAbortReasons)
 	return b.String()
 }
 
@@ -164,20 +230,43 @@ func epochSeed(seed int64, epoch int) int64 {
 	return int64(z)
 }
 
+// netSeed derives the partition-schedule seed from the epoch's chaos seed
+// with one more splitmix64 round, so the link-fault stream is unrelated to
+// both the chaos decision streams and the fail/recover schedule (which
+// consume the chaos seed directly).
+func netSeed(chaosSeed int64) int64 {
+	z := uint64(chaosSeed) + 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
 // RunSoak drives the full soak: for every (seed, epoch) it builds a fresh
-// chaotic cluster, runs a generated fail/recover schedule with workload
-// traffic, heals the system, and audits copy consistency.
+// chaotic cluster, runs a generated fail/recover schedule (plus, with
+// Partitions, a generated link-fault schedule) with workload traffic,
+// heals the system, and audits copy consistency.
 func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	cfg = cfg.withDefaults()
 	res := &SoakResult{
-		AbortReasons: make(map[string]int),
-		Percentiles:  &PercentileReport{Hists: make(map[string]metrics.HistogramStat), Msgs: make(map[string]uint64)},
+		AbortReasons:          make(map[string]int),
+		PartitionAbortReasons: make(map[string]int),
+		Percentiles:           &PercentileReport{Hists: make(map[string]metrics.HistogramStat), Msgs: make(map[string]uint64)},
 	}
 	for _, seed := range cfg.Seeds {
+		// With persistence, item versions are transaction IDs carried in
+		// the on-disk stores; each epoch numbers transactions after the
+		// previous one so versions stay monotone across restarts.
+		var txnBase uint64
 		for epoch := 0; epoch < cfg.EpochsPerSeed; epoch++ {
-			er, pct, err := runSoakEpoch(cfg, seed, epoch)
+			er, pct, lastTxn, err := runSoakEpoch(cfg, seed, epoch, txnBase)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: soak seed %d epoch %d: %w", seed, epoch, err)
+			}
+			if cfg.WALDir != "" {
+				txnBase = lastTxn
 			}
 			res.Epochs = append(res.Epochs, *er)
 			res.Txns += er.Txns
@@ -186,28 +275,42 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 			for reason, n := range er.AbortReasons {
 				res.AbortReasons[reason] += n
 			}
+			res.PartitionTxns += er.PartitionTxns
+			res.PartitionAborts += er.PartitionAborts
+			res.SplitBrains += er.SplitBrains
+			res.DivergentItems += er.DivergentItems
+			res.LocksSet += er.LocksSet
+			res.LocksCleared += er.LocksCleared
+			res.DrainCopiers += er.DrainCopiers
+			for reason, n := range er.PartitionAbortReasons {
+				res.PartitionAbortReasons[reason] += n
+			}
 			if !er.AuditOK {
 				res.Violations++
 			}
 			res.Percentiles.Merge(pct)
 			total := er.ChaosTotal()
-			cfg.logf("soak seed=%d epoch=%d: %d txns (%d committed), %d repairs, chaos sent=%d dropped=%d dup=%d, audit=%v",
-				seed, epoch, er.Txns, er.Committed, er.Repairs, total.Sent, total.Dropped, total.Duplicated, er.AuditOK)
+			cfg.logf("soak seed=%d epoch=%d: %d txns (%d committed), %d repairs, %d net events, chaos sent=%d dropped=%d dup=%d cut=%d, audit=%v",
+				seed, epoch, er.Txns, er.Committed, er.Repairs, len(er.NetEvents),
+				total.Sent, total.Dropped, total.Duplicated, total.Cut, er.AuditOK)
 		}
 	}
 	return res, nil
 }
 
-// runSoakEpoch runs one epoch on a fresh cluster.
-func runSoakEpoch(cfg SoakConfig, seed int64, epoch int) (*EpochResult, *PercentileReport, error) {
+// runSoakEpoch runs one epoch on a fresh cluster (reopening persisted
+// stores when WALDir is set) and returns the epoch result, its latency
+// percentiles, and the last transaction ID allocated.
+func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*EpochResult, *PercentileReport, uint64, error) {
 	base := cfg.Base
 	chaosCfg := cfg.Chaos
 	chaosCfg.Seed = epochSeed(seed, epoch)
 	er := &EpochResult{
-		Seed:         seed,
-		Epoch:        epoch,
-		ChaosSeed:    chaosCfg.Seed,
-		AbortReasons: make(map[string]int),
+		Seed:                  seed,
+		Epoch:                 epoch,
+		ChaosSeed:             chaosCfg.Seed,
+		AbortReasons:          make(map[string]int),
+		PartitionAbortReasons: make(map[string]int),
 	}
 
 	rng := rand.New(rand.NewSource(chaosCfg.Seed))
@@ -217,14 +320,58 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int) (*EpochResult, *Percent
 		MaxDown: cfg.MaxDown,
 	}, rng)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
+	}
+
+	// The link-fault schedule draws from its own rng so enabling
+	// partitions leaves the chaos decision streams and the fail/recover
+	// schedule untouched.
+	var nsched netsched.Schedule
+	var top *netsched.Topology
+	if cfg.Partitions {
+		nrng := rand.New(rand.NewSource(netSeed(chaosCfg.Seed)))
+		nsched, err = netsched.Random(netsched.RandomConfig{
+			Sites: base.Sites,
+			Txns:  cfg.TxnsPerEpoch,
+		}, nrng)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		top = netsched.NewTopology(base.Sites)
+		er.NetEvents = nsched.Strings()
+		er.NetFingerprint = nsched.Fingerprint()
 	}
 
 	ccfg := base.clusterConfig()
 	ccfg.Chaos = &chaosCfg
+	ccfg.Transport = cfg.Transport
+	// Sites never close their stores (a failed site keeps its database,
+	// §1.2); the epoch owns the WAL handles and closes them after the
+	// cluster is torn down, flushing the state the next epoch reopens.
+	var walStores []*storage.WALStore
+	defer func() {
+		for _, s := range walStores {
+			_ = s.Close()
+		}
+	}()
+	if cfg.WALDir != "" {
+		dir := filepath.Join(cfg.WALDir, fmt.Sprintf("seed%d", seed))
+		ccfg.StoreFactory = func(id core.SiteID) (storage.Store, error) {
+			s, err := storage.OpenWAL(storage.WALOptions{
+				Dir:   filepath.Join(dir, fmt.Sprintf("site%d", id)),
+				Items: base.Items,
+			})
+			if err != nil {
+				return nil, err
+			}
+			walStores = append(walStores, s)
+			return s, nil
+		}
+		ccfg.TxnIDBase = txnBase
+	}
 	c, err := cluster.New(ccfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer c.Close()
 
@@ -239,19 +386,99 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int) (*EpochResult, *Percent
 	for i := range trueUp {
 		trueUp[i] = true
 	}
+	// deferred marks sites whose scheduled recovery came back blocked —
+	// cut off from every donor — and waits for the next heal.
+	deferred := make([]bool, base.Sites)
+
+	// settle lets in-flight decision timers (armed 4x the ack timeout
+	// after a lost phase-two decision) expire before a topology change,
+	// so their sends land in a deterministic topology era and the
+	// per-link counters stay reproducible.
+	settle := func() { time.Sleep(5 * base.AckTimeout) }
+
+	reconcile := func() (cluster.ReconcileReport, error) {
+		rep, err := c.ReconcileSplitBrain(trueUp, base.AckTimeout)
+		if err != nil {
+			return rep, err
+		}
+		if rep.Detected() {
+			er.SplitBrains++
+		}
+		er.DivergentItems += rep.DivergentItems
+		er.LocksSet += rep.LocksSet
+		er.LocksCleared += rep.LocksCleared
+		er.Repairs += rep.Repairs
+		return rep, nil
+	}
 
 	for txnNum := 1; txnNum <= cfg.TxnsPerEpoch; txnNum++ {
+		if cfg.Partitions {
+			for _, e := range nsched.EventsBefore(txnNum) {
+				if chaosCfg.Active() || top.Active() {
+					settle()
+				}
+				top.Drive(c, e)
+				if e.Kind != netsched.Heal {
+					continue
+				}
+				// Heal time: first complete the recoveries the episode
+				// blocked, then compare session vectors and collect the
+				// divergence into fail-locks.
+				for i, d := range deferred {
+					if !d {
+						continue
+					}
+					n, err := c.RecoverWithRetry(core.SiteID(i), base.AckTimeout)
+					if err != nil {
+						return nil, nil, 0, fmt.Errorf("deferred recover %d before txn %d: %w", i, txnNum, err)
+					}
+					er.RecoveryRetries += n
+					deferred[i] = false
+					trueUp[i] = true
+				}
+				if _, err := reconcile(); err != nil {
+					return nil, nil, 0, fmt.Errorf("reconcile before txn %d: %w", txnNum, err)
+				}
+			}
+		}
 		for _, e := range sched.EventsBefore(txnNum) {
 			switch e.Action {
 			case failure.Fail:
+				// A deferred recovery leaves the schedule's model of the
+				// up-set ahead of reality; skip failures that would hit
+				// an already-down site or empty the up-set.
+				if !trueUp[e.Site] || countUp(trueUp) <= 1 {
+					er.SkippedFails++
+					continue
+				}
 				if err := c.Fail(e.Site); err != nil {
-					return nil, nil, fmt.Errorf("%s: %w", e, err)
+					return nil, nil, 0, fmt.Errorf("%s: %w", e, err)
 				}
 				trueUp[e.Site] = false
 			case failure.Recover:
+				if trueUp[e.Site] {
+					// Its Fail was skipped; nothing to recover.
+					continue
+				}
+				if top != nil && top.Active() {
+					// During an episode a single attempt decides: a site
+					// cut off from every donor reports recovery blocked
+					// (§3.2) and waits for the heal.
+					_, err := c.Recover(e.Site)
+					switch {
+					case errors.Is(err, cluster.ErrRecoveryBlocked):
+						deferred[e.Site] = true
+						er.DeferredRecoveries++
+					case err != nil:
+						return nil, nil, 0, fmt.Errorf("%s: %w", e, err)
+					default:
+						trueUp[e.Site] = true
+					}
+					continue
+				}
 				n, err := c.RecoverWithRetry(e.Site, base.AckTimeout)
 				if err != nil {
-					return nil, nil, fmt.Errorf("%s: %w", e, err)
+					return nil, nil, 0, fmt.Errorf("%s: %w", e, err)
 				}
 				er.RecoveryRetries += n
 				trueUp[e.Site] = true
@@ -262,14 +489,22 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int) (*EpochResult, *Percent
 		id := c.NextTxnID()
 		out, err := c.ExecTxn(coord, id, gen.Next(id))
 		if err != nil {
-			return nil, nil, fmt.Errorf("txn %d on %s: %w", txnNum, coord, err)
+			return nil, nil, 0, fmt.Errorf("txn %d on %s: %w", txnNum, coord, err)
 		}
 		er.Txns++
+		inPartition := top != nil && top.Active()
+		if inPartition {
+			er.PartitionTxns++
+		}
 		if out.Committed {
 			er.Committed++
 		} else {
 			er.Aborted++
 			er.AbortReasons[out.AbortReason]++
+			if inPartition {
+				er.PartitionAborts++
+				er.PartitionAbortReasons[out.AbortReason]++
+			}
 		}
 
 		// Chaos turns lost messages into false failure declarations: a
@@ -278,49 +513,106 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int) (*EpochResult, *Percent
 		// every transaction so a falsely isolated site gets at most ~one
 		// transaction of solo divergence before it is rejoined (its
 		// writes fail-locked and refreshed through the normal recovery
-		// machinery).
-		n, err := c.RepairFalseSuspicions(trueUp, base.AckTimeout)
+		// machinery). While an episode is active, suspicion touching a
+		// cut site is legitimate network evidence, not a false positive
+		// — those pairs wait for heal-time reconciliation.
+		var eligible func(observer, suspect core.SiteID) bool
+		if inPartition {
+			eligible = func(observer, suspect core.SiteID) bool {
+				return !top.Affected(observer) && !top.Affected(suspect)
+			}
+		}
+		n, err := c.RepairFalseSuspicionsWhere(trueUp, eligible, base.AckTimeout)
 		if err != nil {
-			return nil, nil, fmt.Errorf("repair after txn %d: %w", txnNum, err)
+			return nil, nil, 0, fmt.Errorf("repair after txn %d: %w", txnNum, err)
 		}
 		er.Repairs += n
 	}
 
-	// Heal: bring ground-truth-down sites back, clear any remaining
-	// false suspicions, then let in-flight decision timers (armed when a
-	// phase-two decision was dropped) expire before auditing.
+	// Epilogue: heal any episode the schedule left active (after letting
+	// partition-era decision timers expire into the cut), bring
+	// ground-truth-down sites back, and clear remaining false suspicions.
+	if top != nil && top.Active() {
+		settle()
+		top.HealAll(c)
+	}
 	for i, isUp := range trueUp {
 		if !isUp {
 			n, err := c.RecoverWithRetry(core.SiteID(i), base.AckTimeout)
 			if err != nil {
-				return nil, nil, fmt.Errorf("final recover %d: %w", i, err)
+				return nil, nil, 0, fmt.Errorf("final recover %d: %w", i, err)
 			}
 			er.RecoveryRetries += n
 			trueUp[i] = true
+			deferred[i] = false
 		}
 	}
 	n, err := c.RepairFalseSuspicions(trueUp, base.AckTimeout)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	er.Repairs += n
-	time.Sleep(5 * base.AckTimeout)
+	settle()
 	if n, err = c.RepairFalseSuspicions(trueUp, base.AckTimeout); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	er.Repairs += n
 
-	report, err := c.Audit()
-	if err != nil {
-		return nil, nil, err
+	// Final reconciliation folds in whatever the late recoveries
+	// surfaced (a site that solo-committed during a cut and then failed
+	// hides its versions until it is back up), then the drain runs the
+	// copier transactions that actually refresh the stale copies. With
+	// persistence the drain also guarantees the next epoch's fresh
+	// fail-lock tables have no untracked stale on-disk copies to miss.
+	usesFailLocks := base.Policy == nil || base.Policy.UsesFailLocks()
+	if cfg.Partitions {
+		if _, err := reconcile(); err != nil {
+			return nil, nil, 0, fmt.Errorf("epilogue reconcile: %w", err)
+		}
 	}
-	er.AuditOK = report.OK()
+	if (cfg.Partitions || cfg.WALDir != "") && usesFailLocks {
+		// Drain, then reconcile again: the drain's copier clear fan-outs
+		// travel chaotic site-to-site links, and a dropped clear leaves a
+		// stray bit in one table that the drain's per-site count cannot
+		// see. Reconciliation re-derives every table from the copies over
+		// the reliable manager links; another pass drains whatever it had
+		// to re-lock (a copier that aborted mid-drain).
+		for pass := 0; pass < 3; pass++ {
+			copiers, remaining, err := c.DrainFailLocks(trueUp, base.MaxOps)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("drain: %w", err)
+			}
+			er.DrainCopiers += copiers
+			er.LocksAfterDrain = remaining
+			rep, err := reconcile()
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("post-drain reconcile: %w", err)
+			}
+			if remaining == 0 && rep.LocksSet == 0 {
+				break
+			}
+		}
+	}
+
+	var report cluster.AuditReport
+	if usesFailLocks {
+		report, err = c.Audit()
+	} else {
+		report, err = c.AuditQuorum()
+	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	er.AuditOK = report.OK() && er.LocksAfterDrain == 0
 	if !er.AuditOK {
 		er.AuditDetail = report.String()
+		if er.LocksAfterDrain > 0 {
+			er.AuditDetail = fmt.Sprintf("%s; %d fail-locks undrained at epoch end", er.AuditDetail, er.LocksAfterDrain)
+		}
 	}
 	pct := CollectPercentiles(c)
 	er.Chaos = c.ChaosStats()
-	return er, pct, nil
+	return er, pct, c.LastTxnID(), nil
 }
 
 // pickCoordinator round-robins over the truly-up sites, matching the
@@ -335,6 +627,13 @@ func pickCoordinator(trueUp []bool, txnNum int) core.SiteID {
 	return ups[(txnNum-1)%len(ups)]
 }
 
-// recoverWithRetry and repairFalseSuspicions moved to
-// (*cluster.Cluster).RecoverWithRetry / RepairFalseSuspicions so tests
-// outside this package can heal false suspicions the same way.
+// countUp counts the ground-truth-up sites.
+func countUp(trueUp []bool) int {
+	n := 0
+	for _, u := range trueUp {
+		if u {
+			n++
+		}
+	}
+	return n
+}

@@ -37,8 +37,9 @@ type ChaosConfig struct {
 	ExemptManager bool
 }
 
-// active reports whether the config injects any fault at all.
-func (c ChaosConfig) active() bool {
+// Active reports whether the config injects any probabilistic fault at
+// all (administrative cuts via SetLinkDown work regardless).
+func (c ChaosConfig) Active() bool {
 	return c.Drop > 0 || c.Dup > 0 || c.MaxJitter > 0
 }
 
@@ -60,6 +61,12 @@ type LinkStats struct {
 	// JitterTotal is the summed injected latency, an exact fingerprint of
 	// the link's jitter draws.
 	JitterTotal time.Duration
+	// Cut counts messages discarded because the link was administratively
+	// down (SetLinkDown) — the partition scheduler's cuts, distinct from
+	// probabilistic Dropped. Cut messages never reach the link's rng, so
+	// the probabilistic decision stream stays a pure function of the
+	// messages that survive the cut.
+	Cut uint64
 }
 
 // Add folds other into s.
@@ -68,6 +75,7 @@ func (s *LinkStats) Add(other LinkStats) {
 	s.Dropped += other.Dropped
 	s.Duplicated += other.Duplicated
 	s.JitterTotal += other.JitterTotal
+	s.Cut += other.Cut
 }
 
 // Chaos is a fault-injection decorator over any Network: per-directed-link
@@ -83,22 +91,59 @@ type Chaos struct {
 	inner Network
 	cfg   ChaosConfig
 
-	mu     sync.Mutex
-	eps    map[core.SiteID]*chaosEndpoint
-	links  map[LinkID]*chaosLink
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	eps      map[core.SiteID]*chaosEndpoint
+	links    map[LinkID]*chaosLink
+	downs    map[LinkID]bool
+	cutStats map[LinkID]LinkStats
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // NewChaos wraps inner with seeded fault injection. Closing the returned
 // network closes inner too.
 func NewChaos(inner Network, cfg ChaosConfig) *Chaos {
 	return &Chaos{
-		inner: inner,
-		cfg:   cfg,
-		eps:   make(map[core.SiteID]*chaosEndpoint),
-		links: make(map[LinkID]*chaosLink),
+		inner:    inner,
+		cfg:      cfg,
+		eps:      make(map[core.SiteID]*chaosEndpoint),
+		links:    make(map[LinkID]*chaosLink),
+		downs:    make(map[LinkID]bool),
+		cutStats: make(map[LinkID]LinkStats),
 	}
+}
+
+// SetLinkDown administratively cuts (or restores) the directed link
+// from->to. While down, messages offered to the link are discarded at
+// Send time — before the chaotic pipeline, so cut traffic burns no rng
+// draws and the probabilistic decision stream of the surviving messages
+// is unchanged. This is the hook the netsched partition scheduler
+// drives; it works even when no probabilistic fault is configured.
+func (c *Chaos) SetLinkDown(from, to core.SiteID, down bool) {
+	key := LinkID{From: from, To: to}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if down {
+		c.downs[key] = true
+	} else {
+		delete(c.downs, key)
+	}
+}
+
+// cutDrop reports whether from->to is administratively down, counting
+// the discarded message when it is.
+func (c *Chaos) cutDrop(from, to core.SiteID) bool {
+	key := LinkID{From: from, To: to}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.downs[key] {
+		return false
+	}
+	s := c.cutStats[key]
+	s.Sent++
+	s.Cut++
+	c.cutStats[key] = s
+	return true
 }
 
 // Endpoint implements Network.
@@ -137,15 +182,21 @@ func (c *Chaos) Close() error {
 	return c.inner.Close()
 }
 
-// Stats snapshots every link's decision counters.
+// Stats snapshots every link's decision counters, folding in messages
+// discarded by administrative cuts.
 func (c *Chaos) Stats() map[LinkID]LinkStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[LinkID]LinkStats, len(c.links))
+	out := make(map[LinkID]LinkStats, len(c.links)+len(c.cutStats))
 	for id, l := range c.links {
 		l.mu.Lock()
 		out[id] = l.stats
 		l.mu.Unlock()
+	}
+	for id, s := range c.cutStats {
+		merged := out[id]
+		merged.Add(s)
+		out[id] = merged
 	}
 	return out
 }
@@ -162,7 +213,7 @@ func (c *Chaos) TotalStats() LinkStats {
 // exempt reports whether the directed link from->to bypasses fault
 // injection.
 func (c *Chaos) exempt(from, to core.SiteID) bool {
-	if !c.cfg.active() {
+	if !c.cfg.Active() {
 		return true
 	}
 	return c.cfg.ExemptManager && (from == core.ManagingSite || to == core.ManagingSite)
@@ -293,6 +344,13 @@ func (ep *chaosEndpoint) ID() core.SiteID { return ep.inner.ID() }
 // there on — exactly the contract a lossy wire offers.
 func (ep *chaosEndpoint) Send(env *msg.Envelope) error {
 	from := ep.inner.ID()
+	// Administrative cuts apply before exemption: a scheduler-cut link
+	// drops everything even when no probabilistic fault is configured.
+	// Send still reports acceptance — a cut wire is silence, not an
+	// error the sender can observe.
+	if ep.net.cutDrop(from, env.To) {
+		return nil
+	}
 	if ep.net.exempt(from, env.To) {
 		return ep.inner.Send(env)
 	}
