@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"minraid/internal/experiment"
+)
+
+// runBench drives the soak throughput bench subcommand:
+//
+//	raid-experiments bench                       # 200 txns, serial vs concurrent(8)
+//	raid-experiments bench -txns 400 -conc 16
+//	raid-experiments bench -rate 500             # paced open-loop latency view
+//	raid-experiments bench -o BENCH_soak.json
+//	raid-experiments bench -baseline BENCH_baseline.json -min-ratio 0.3
+//
+// It runs the same seeded workload twice over durably-logged (fsync)
+// stores — once serially, once interleaved with WAL group commit — writes
+// the machine-readable BENCH_soak.json, and exits non-zero if either pass
+// fails its consistency audit or, with -baseline, if serial throughput
+// falls below min-ratio of the committed baseline's.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		txns     = fs.Int("txns", 200, "transactions per pass")
+		sites    = fs.Int("sites", 4, "database sites")
+		items    = fs.Int("items", 64, "database items")
+		conc     = fs.Int("conc", 8, "concurrent pass: per-site transaction degree and in-flight bound")
+		rate     = fs.Float64("rate", 0, "open-loop arrival rate in txn/s for the concurrent pass (0: unpaced peak-throughput comparison)")
+		delay    = fs.Duration("delay", 500*time.Microsecond, "per-hop communication cost")
+		seed     = fs.Int64("seed", 1987, "workload RNG seed")
+		out      = fs.String("o", "BENCH_soak.json", "output path for the JSON report (empty: stdout summary only)")
+		baseline = fs.String("baseline", "", "committed BENCH_soak.json to regression-check serial throughput against")
+		minRatio = fs.Float64("min-ratio", 0.3, "fail if serial ops/sec < min-ratio x baseline's (generous: CI runners vary)")
+	)
+	fs.Parse(args)
+
+	header(fmt.Sprintf("Soak throughput bench: serial vs concurrent(%d)+group-commit, %d txns", *conc, *txns))
+	rep, err := experiment.RunSoakBench(experiment.SoakBenchConfig{
+		Base: experiment.Config{
+			Sites: *sites, Items: *items,
+			Delay: *delay, Seed: *seed,
+		},
+		Txns:        *txns,
+		Concurrency: *conc,
+		Rate:        *rate,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println()
+	fmt.Print(rep)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *baseline != "" {
+		if err := checkBaseline(rep, *baseline, *minRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "raid-experiments: bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkBaseline compares serial throughput against a committed report. The
+// serial pass is the regression anchor: it has no concurrency to hide a
+// slowdown behind, so a protocol- or storage-layer regression shows up in
+// it directly, while minRatio absorbs runner-to-runner hardware variance.
+func checkBaseline(rep *experiment.BenchReport, path string, minRatio float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base experiment.BenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Serial == nil || base.Serial.OpsPerSec <= 0 {
+		return fmt.Errorf("baseline %s has no serial ops/sec", path)
+	}
+	floor := base.Serial.OpsPerSec * minRatio
+	if rep.Serial.OpsPerSec < floor {
+		return fmt.Errorf("serial throughput regression: %.1f txn/s < %.1f (%.0f%% of baseline %.1f)",
+			rep.Serial.OpsPerSec, floor, minRatio*100, base.Serial.OpsPerSec)
+	}
+	fmt.Printf("baseline check: serial %.1f txn/s >= %.1f (%.0f%% of committed %.1f) ok\n",
+		rep.Serial.OpsPerSec, floor, minRatio*100, base.Serial.OpsPerSec)
+	return nil
+}

@@ -28,10 +28,14 @@ import (
 )
 
 func main() {
-	// Subcommand dispatch (currently just the chaos soak) happens before
-	// flag parsing so the subcommand owns its own flag set.
+	// Subcommand dispatch happens before flag parsing so each subcommand
+	// owns its own flag set.
 	if len(os.Args) > 1 && os.Args[1] == "soak" {
 		runSoak(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
 		return
 	}
 	var (

@@ -57,6 +57,9 @@ type Config struct {
 	// distributed strict 2PL on every site (the paper's deferred
 	// concurrency-control future work); 0 or 1 keeps serial processing.
 	ConcurrentTxns int
+	// LockWaitBudget bounds a concurrent-mode lock wait at every site;
+	// zero defaults to half the ack timeout (see site.Config).
+	LockWaitBudget time.Duration
 	// Tracer receives structured trace events from every site and
 	// per-kind message counts from the transport. Nil allocates a shared
 	// recorder with the default capacity.
@@ -160,6 +163,7 @@ func New(cfg Config) (*Cluster, error) {
 			EnableType3:                cfg.EnableType3,
 			Replicas:                   cfg.Replicas,
 			ConcurrentTxns:             cfg.ConcurrentTxns,
+			LockWaitBudget:             cfg.LockWaitBudget,
 			Tracer:                     cfg.Tracer,
 		}, c.network)
 		if err != nil {

@@ -61,7 +61,7 @@ func TestConcurrentWritersConverge(t *testing.T) {
 				mu.Lock()
 				if res.Committed {
 					committed++
-				} else if res.AbortReason == txn.AbortLockTimeout {
+				} else if res.AbortReason == txn.AbortLockTimeout || res.AbortReason == txn.AbortDeadlock {
 					lockAborts++
 				} else {
 					t.Errorf("unexpected abort: %q", res.AbortReason)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -48,13 +49,20 @@ func (r ReconcileReport) String() string {
 //  1. Session-vector comparison: collect every truly-up site's vector,
 //     fail-lock table and database dump; mutual suspicion between
 //     truly-up sites is the split-brain signal.
-//  2. Fail-lock collection: compute the reconciled table. Versions are
-//     globally unique transaction IDs, so for every item the highest
-//     version among truly-up copies is the committed state; each
-//     truly-up copy behind it must carry a fail-lock, each copy at it
-//     must not. Bits for sites that are genuinely down are merged by
-//     union — each side's table tracked real staleness the other side
-//     could not observe, and over-locking only costs a copier refresh.
+//  2. Fail-lock collection: compute the reconciled table. For every item
+//     the highest version among truly-up copies wins; each truly-up copy
+//     behind it must carry a fail-lock, each copy at it must not. In
+//     serial mode versions are transaction IDs, globally unique, and that
+//     comparison is complete. In concurrent mode versions are per-item
+//     commit counters, and copies AT the highest version can still
+//     disagree in value: both sides of a cut committing the same number
+//     of writes to an item count to the same version from the same base.
+//     Version comparison is blind to that, so values at the winning
+//     version are compared too, the lowest-numbered truly-up copy is
+//     canonicalized, and the others are fail-locked for refresh. Bits
+//     for sites that are genuinely down are merged by union — each
+//     side's table tracked real staleness the other side could not
+//     observe, and over-locking only costs a copier refresh.
 //  3. Install the reconciled table everywhere via the special fail-lock
 //     transaction (ClearFailLocks with Set for the missing bits), then
 //     merge the sides' vectors with fail/recover cycles; the type-1
@@ -149,14 +157,37 @@ func (c *Cluster) ReconcileSplitBrain(trueUp []bool, ackTimeout time.Duration) (
 			}
 			first = false
 		}
-		if !first && minVer != maxVer {
-			rep.DivergentItems++
+		// The canonical value: the lowest-numbered truly-up copy at the
+		// winning version (views are in site order). Copies at maxVer
+		// with a different value are split-brain twins — both sides
+		// committed their item's Nth write — and must be fail-locked so
+		// the drain refreshes them from the canonical copy (Apply
+		// overwrites at equal version).
+		var canonical []byte
+		haveCanonical := false
+		for _, v := range views {
+			if hostMask&(1<<v.id) != 0 && v.dump[item].Version == maxVer {
+				canonical = v.dump[item].Value
+				haveCanonical = true
+				break
+			}
 		}
+		valueDiverged := false
 		var bits uint64
 		for _, v := range views {
-			if hostMask&(1<<v.id) != 0 && v.dump[item].Version < maxVer {
-				bits |= 1 << v.id
+			if hostMask&(1<<v.id) == 0 {
+				continue
 			}
+			switch d := v.dump[item]; {
+			case d.Version < maxVer:
+				bits |= 1 << v.id
+			case haveCanonical && !bytes.Equal(d.Value, canonical):
+				bits |= 1 << v.id
+				valueDiverged = true
+			}
+		}
+		if (!first && minVer != maxVer) || valueDiverged {
+			rep.DivergentItems++
 		}
 		// Down sites: union of what every side tracked, hosting only.
 		var downBits uint64

@@ -101,6 +101,92 @@ func TestReconcileSplitBrain(t *testing.T) {
 	}
 }
 
+// TestReconcileEqualVersionDivergence is the concurrent-mode twin-write
+// regression: versions are per-item commit counters under ConcurrentTxns,
+// so when each side of a cut commits exactly one write to the same item,
+// both copies land at the same version with different values. Version
+// comparison alone cannot see that divergence — reconciliation must
+// compare values at the winning version, canonicalize one copy, and
+// fail-lock the twins so the drain converges every replica.
+func TestReconcileEqualVersionDivergence(t *testing.T) {
+	const ack = 40 * time.Millisecond
+	c := newTestCluster(t, Config{Sites: 3, Items: 10, ConcurrentTxns: 2, AckTimeout: ack})
+	trueUp := []bool{true, true, true}
+
+	c.Partition([]core.SiteID{0}, []core.SiteID{1, 2}, true)
+	// A sacrificial write per side eats the ack timeout and announces the
+	// other side failed; its abort is expected and irrelevant.
+	if _, err := c.Exec(0, []core.Op{core.Write(1, []byte("a"))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(1, []core.Op{core.Write(1, []byte("b"))}); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one committed write per side to item 0: both sides count it
+	// from version 0, so each commit produces version 1.
+	resA, err := c.Exec(0, []core.Op{core.Write(0, []byte("minority"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := c.Exec(1, []core.Op{core.Write(0, []byte("majority"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resA.Committed || !resB.Committed {
+		t.Fatalf("split brain did not form: committed %v/%v", resA.Committed, resB.Committed)
+	}
+	dumpA, err := c.Dump(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpB, err := c.Dump(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpA[0].Version != dumpB[0].Version {
+		t.Fatalf("setup broke: versions differ (%d vs %d), the regression needs equal-version twins",
+			dumpA[0].Version, dumpB[0].Version)
+	}
+	if bytes.Equal(dumpA[0].Value, dumpB[0].Value) {
+		t.Fatal("setup broke: twin copies hold equal values")
+	}
+
+	c.Partition([]core.SiteID{0}, []core.SiteID{1, 2}, false)
+	rep, err := c.ReconcileSplitBrain(trueUp, ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DivergentItems == 0 {
+		t.Fatalf("equal-version divergence not detected: %s", rep)
+	}
+	if rep.LocksSet == 0 {
+		t.Fatalf("no fail-locks installed for the twin copies: %s", rep)
+	}
+	if _, remaining, err := c.DrainFailLocks(trueUp, 8); err != nil {
+		t.Fatal(err)
+	} else if remaining != 0 {
+		t.Fatalf("%d fail-locks left after drain", remaining)
+	}
+	audit, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.OK() {
+		t.Fatalf("post-reconcile audit failed: %s", audit)
+	}
+	// Every copy converged to the canonical value (the lowest-numbered
+	// truly-up copy at the winning version — site 0's).
+	for s := 0; s < 3; s++ {
+		dump, err := c.Dump(core.SiteID(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dump[0].Value, []byte("minority")) {
+			t.Fatalf("site %d item 0 = %q, want canonical %q", s, dump[0].Value, "minority")
+		}
+	}
+}
+
 // TestReconcileQuorumVectorsOnly: under quorum consensus a partition
 // splits the session vectors but never the data — reconciliation finds
 // suspicion, no divergence, and the quorum audit stays clean throughout.

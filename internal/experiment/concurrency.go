@@ -22,11 +22,14 @@ type ConcurrencyReport struct {
 	Rows                                 []ConcurrencyRow
 }
 
-// ConcurrencyRow is one sweep point.
+// ConcurrencyRow is one sweep point. Lock-wait timeouts and deadlock
+// victims are reported separately: timeouts respond to the lock-wait
+// budget and the concurrency degree, deadlocks to the access pattern.
 type ConcurrencyRow struct {
 	Degree       int
 	Committed    int
-	LockAborts   int
+	LockAborts   int // lock-wait timeouts
+	Deadlocks    int // waits-for cycle victims
 	Elapsed      time.Duration
 	TxnPerSecond float64
 }
@@ -36,10 +39,10 @@ func (r ConcurrencyReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Extension: concurrent execution sweep (%d clients x %d txns, one coordinator, delay %v)\n",
 		r.Clients, r.TxnsPerClient, r.Delay)
-	fmt.Fprintf(&b, "  %8s %10s %12s %10s %10s\n", "degree", "committed", "lock aborts", "elapsed", "txn/s")
+	fmt.Fprintf(&b, "  %8s %10s %13s %10s %10s %10s\n", "degree", "committed", "lock timeouts", "deadlocks", "elapsed", "txn/s")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %8d %10d %12d %10v %10.0f\n",
-			row.Degree, row.Committed, row.LockAborts, row.Elapsed.Round(time.Millisecond), row.TxnPerSecond)
+		fmt.Fprintf(&b, "  %8d %10d %13d %10d %10v %10.0f\n",
+			row.Degree, row.Committed, row.LockAborts, row.Deadlocks, row.Elapsed.Round(time.Millisecond), row.TxnPerSecond)
 	}
 	return b.String()
 }
@@ -100,6 +103,8 @@ func RunConcurrencySweep(cfg Config, degrees []int, clients, perClient int) (*Co
 						row.Committed++
 					case out.AbortReason == txn.AbortLockTimeout:
 						row.LockAborts++
+					case out.AbortReason == txn.AbortDeadlock:
+						row.Deadlocks++
 					default:
 						if firstErr == nil {
 							firstErr = fmt.Errorf("concurrency sweep: unexpected abort %q", out.AbortReason)

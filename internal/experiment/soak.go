@@ -3,16 +3,19 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"minraid/internal/cluster"
 	"minraid/internal/core"
 	"minraid/internal/failure"
 	"minraid/internal/metrics"
+	"minraid/internal/msg"
 	"minraid/internal/netsched"
 	"minraid/internal/storage"
 	"minraid/internal/transport"
@@ -35,6 +38,24 @@ type SoakConfig struct {
 	EpochsPerSeed int
 	// TxnsPerEpoch is the workload length of one epoch (default 40).
 	TxnsPerEpoch int
+	// Concurrency is the per-site ConcurrentTxns degree and the driver's
+	// in-flight bound. Zero defaults to 4 when the policy supports the
+	// concurrent extension (ROWAA, full replication) and 1 otherwise;
+	// 1 forces the paper's serial processing. In concurrent mode the
+	// driver issues transactions in waves between schedule-event
+	// boundaries: failures, recoveries and partition events still land at
+	// their scheduled transaction numbers against a write-quiescent
+	// system (the documented constraint for concurrent-mode recovery),
+	// while the transactions between two events execute interleaved.
+	Concurrency int
+	// ArrivalRate, when positive, paces the concurrent driver open-loop
+	// at this many transactions per second (latency measured from
+	// scheduled arrival; see workload.OpenLoop). Zero issues as fast as
+	// the in-flight bound allows.
+	ArrivalRate float64
+	// LockWaitBudget bounds concurrent-mode lock waits at every site;
+	// zero uses the site default (AckTimeout/2).
+	LockWaitBudget time.Duration
 	// Chaos carries the fault probabilities (Drop, Dup, MaxJitter). Seed
 	// is overridden per epoch and ExemptManager is forced on: the
 	// managing site is the experimenter's out-of-band console and must
@@ -78,6 +99,15 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	if c.TxnsPerEpoch == 0 {
 		c.TxnsPerEpoch = 40
 	}
+	if c.Concurrency == 0 {
+		// Interleaved execution is the default soak regime wherever the
+		// configuration supports it.
+		if c.Base.Policy == nil || c.Base.Policy.Name() == "rowaa" {
+			c.Concurrency = 4
+		} else {
+			c.Concurrency = 1
+		}
+	}
 	c.Chaos.ExemptManager = true
 	return c
 }
@@ -106,11 +136,23 @@ type EpochResult struct {
 	// RecoveryRetries counts recovery attempts that came back blocked
 	// because chaos ate the donor handshake, and were retried.
 	RecoveryRetries int
+	// Concurrency records the per-site interleaving degree the epoch ran
+	// with (1 = the paper's serial processing).
+	Concurrency int
 	// NetEvents is the partition scheduler's event stream in canonical
 	// rendering, and NetFingerprint its FNV-1a hash — the determinism
 	// witness the -repro check compares. Empty unless Partitions is on.
 	NetEvents      []string
 	NetFingerprint uint64
+	// FailEvents is the fail/recover schedule in canonical rendering —
+	// with NetEvents, the injected-fault half of the determinism witness.
+	FailEvents []string
+	// WorkloadFingerprint hashes the issued transaction stream
+	// (number, ID, coordinator, operations): a pure function of the seed
+	// and the schedules, so it must be bit-identical across reruns even
+	// in concurrent mode, where outcomes and per-link chaos counters are
+	// allowed to race.
+	WorkloadFingerprint uint64
 	// PartitionTxns counts transactions issued while some link was down;
 	// PartitionAborts those of them that aborted, classified by
 	// PartitionAbortReasons (the partition-time rejection profile).
@@ -298,6 +340,15 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	return res, nil
 }
 
+// soakIssue is one pre-generated transaction of a wave: everything about
+// it except its outcome is fixed before execution starts.
+type soakIssue struct {
+	num   int
+	id    core.TxnID
+	coord core.SiteID
+	ops   []core.Op
+}
+
 // runSoakEpoch runs one epoch on a fresh cluster (reopening persisted
 // stores when WALDir is set) and returns the epoch result, its latency
 // percentiles, and the last transaction ID allocated.
@@ -322,6 +373,9 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	for _, e := range sched.Events {
+		er.FailEvents = append(er.FailEvents, e.String())
+	}
 
 	// The link-fault schedule draws from its own rng so enabling
 	// partitions leaves the chaos decision streams and the fail/recover
@@ -345,6 +399,11 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 	ccfg := base.clusterConfig()
 	ccfg.Chaos = &chaosCfg
 	ccfg.Transport = cfg.Transport
+	if cfg.Concurrency > 1 {
+		ccfg.ConcurrentTxns = cfg.Concurrency
+	}
+	ccfg.LockWaitBudget = cfg.LockWaitBudget
+	er.Concurrency = cfg.Concurrency
 	// Sites never close their stores (a failed site keeps its database,
 	// §1.2); the epoch owns the WAL handles and closes them after the
 	// cluster is torn down, flushing the state the next epoch reopens.
@@ -411,7 +470,24 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 		return rep, nil
 	}
 
-	for txnNum := 1; txnNum <= cfg.TxnsPerEpoch; txnNum++ {
+	// eventAt reports whether any schedule event fires immediately before
+	// transaction n — a wave boundary in concurrent mode.
+	eventAt := func(n int) bool {
+		if len(sched.EventsBefore(n)) > 0 {
+			return true
+		}
+		return cfg.Partitions && len(nsched.EventsBefore(n)) > 0
+	}
+	concurrent := cfg.Concurrency > 1
+	// Waves are capped so false-suspicion repair still runs at a bounded
+	// interval even through an event-free stretch of the schedule.
+	waveCap := 1
+	if concurrent {
+		waveCap = 4 * cfg.Concurrency
+	}
+	fp := fnv.New64a()
+
+	for txnNum := 1; txnNum <= cfg.TxnsPerEpoch; {
 		if cfg.Partitions {
 			for _, e := range nsched.EventsBefore(txnNum) {
 				if chaosCfg.Active() || top.Active() {
@@ -485,37 +561,90 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 			}
 		}
 
-		coord := pickCoordinator(trueUp, txnNum)
-		id := c.NextTxnID()
-		out, err := c.ExecTxn(coord, id, gen.Next(id))
-		if err != nil {
-			return nil, nil, 0, fmt.Errorf("txn %d on %s: %w", txnNum, coord, err)
+		// Wave: the longest run of transactions before the next schedule
+		// event (capped at waveCap). Serial mode issues waves of one,
+		// preserving the paper's one-at-a-time processing; concurrent
+		// mode executes the wave interleaved through the open-loop
+		// driver, with a barrier at the wave end so every fail, recover
+		// and partition event lands on a write-quiescent system (the
+		// documented constraint for concurrent-mode recovery).
+		waveEnd := txnNum
+		for waveEnd-txnNum+1 < waveCap && waveEnd+1 <= cfg.TxnsPerEpoch && !eventAt(waveEnd+1) {
+			waveEnd++
 		}
-		er.Txns++
-		inPartition := top != nil && top.Active()
-		if inPartition {
-			er.PartitionTxns++
-		}
-		if out.Committed {
-			er.Committed++
-		} else {
-			er.Aborted++
-			er.AbortReasons[out.AbortReason]++
-			if inPartition {
-				er.PartitionAborts++
-				er.PartitionAbortReasons[out.AbortReason]++
+		wave := make([]soakIssue, 0, waveEnd-txnNum+1)
+		for n := txnNum; n <= waveEnd; n++ {
+			id := c.NextTxnID()
+			iss := soakIssue{num: n, id: id, coord: pickCoordinator(trueUp, n), ops: gen.Next(id)}
+			wave = append(wave, iss)
+			// Transaction IDs, coordinators and operations are all pure
+			// functions of (seed, schedule) — fingerprint the issued
+			// stream as the reproducibility witness that stays
+			// bit-identical even when outcomes race in concurrent mode.
+			fmt.Fprintf(fp, "%d/%d@%d:", iss.num, iss.id, iss.coord)
+			for _, op := range iss.ops {
+				fmt.Fprintf(fp, "%d,%d,%x;", op.Kind, op.Item, op.Value)
 			}
 		}
+
+		outs := make([]*msg.TxnResult, len(wave))
+		if !concurrent {
+			out, err := c.ExecTxn(wave[0].coord, wave[0].id, wave[0].ops)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("txn %d on %s: %w", wave[0].num, wave[0].coord, err)
+			}
+			outs[0] = out
+		} else {
+			var execMu sync.Mutex
+			var execErr error
+			ol := &workload.OpenLoop{Rate: cfg.ArrivalRate, Count: len(wave), MaxInFlight: cfg.Concurrency}
+			ol.Run(func(i int) {
+				iss := wave[i]
+				out, err := c.ExecTxn(iss.coord, iss.id, iss.ops)
+				if err != nil {
+					execMu.Lock()
+					if execErr == nil {
+						execErr = fmt.Errorf("txn %d on %s: %w", iss.num, iss.coord, err)
+					}
+					execMu.Unlock()
+					return
+				}
+				outs[i] = out
+			})
+			if execErr != nil {
+				return nil, nil, 0, execErr
+			}
+		}
+
+		inPartition := top != nil && top.Active()
+		for _, out := range outs {
+			er.Txns++
+			if inPartition {
+				er.PartitionTxns++
+			}
+			if out.Committed {
+				er.Committed++
+			} else {
+				er.Aborted++
+				er.AbortReasons[out.AbortReason]++
+				if inPartition {
+					er.PartitionAborts++
+					er.PartitionAbortReasons[out.AbortReason]++
+				}
+			}
+		}
+		txnNum = waveEnd + 1
 
 		// Chaos turns lost messages into false failure declarations: a
 		// dropped ack and the sender is announced failed system-wide,
 		// ostracized by sites that are themselves fine. Repair after
-		// every transaction so a falsely isolated site gets at most ~one
-		// transaction of solo divergence before it is rejoined (its
-		// writes fail-locked and refreshed through the normal recovery
-		// machinery). While an episode is active, suspicion touching a
-		// cut site is legitimate network evidence, not a false positive
-		// — those pairs wait for heal-time reconciliation.
+		// every wave (every transaction, in serial mode) so a falsely
+		// isolated site gets at most a bounded run of solo divergence
+		// before it is rejoined (its writes fail-locked and refreshed
+		// through the normal recovery machinery). While an episode is
+		// active, suspicion touching a cut site is legitimate network
+		// evidence, not a false positive — those pairs wait for heal-time
+		// reconciliation.
 		var eligible func(observer, suspect core.SiteID) bool
 		if inPartition {
 			eligible = func(observer, suspect core.SiteID) bool {
@@ -524,10 +653,11 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 		}
 		n, err := c.RepairFalseSuspicionsWhere(trueUp, eligible, base.AckTimeout)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("repair after txn %d: %w", txnNum, err)
+			return nil, nil, 0, fmt.Errorf("repair after txn %d: %w", waveEnd, err)
 		}
 		er.Repairs += n
 	}
+	er.WorkloadFingerprint = fp.Sum64()
 
 	// Epilogue: heal any episode the schedule left active (after letting
 	// partition-era decision timers expire into the cut), bring

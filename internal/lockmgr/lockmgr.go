@@ -10,12 +10,24 @@
 // point for interleaved transaction execution. Its concept of a lock also
 // anchors the paper's fail-lock analogy ("this idea is adopted from the
 // concept of a lock in concurrency control algorithms", §1.1).
+//
+// The lock table is sharded into stripes keyed by item hash, so
+// transactions touching disjoint items take disjoint mutexes and the
+// manager scales with the concurrency degree instead of serializing every
+// grant behind one lock. Grants, releases and timeouts touch only the
+// item's stripe; deadlock detection is the one cross-stripe operation: it
+// locks all stripes in index order (a fixed order, so two concurrent
+// detections cannot deadlock on the stripe mutexes themselves) and builds
+// the global waits-for graph. Detection runs only when a transaction is
+// forced to wait — the contended path, where its cost is already dwarfed
+// by the wait itself.
 package lockmgr
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minraid/internal/core"
@@ -50,9 +62,23 @@ var (
 	ErrClosed = errors.New("lockmgr: closed")
 )
 
+// defaultStripes is the lock-table shard count. Power of two so stripe
+// selection is a mask; 16 comfortably exceeds plausible ConcurrentTxns
+// degrees while keeping the all-stripes deadlock sweep cheap.
+const defaultStripes = 16
+
+// maxStripes caps the shard count so a transaction's touched-stripe set
+// fits in one uint64 bitmask.
+const maxStripes = 64
+
+// txnShards shards the touched-stripe index by transaction ID, so
+// recording a touch doesn't reintroduce a global mutex.
+const txnShards = 16
+
 // request is one waiting acquisition.
 type request struct {
 	txn   core.TxnID
+	item  core.ItemID // the item whose queue holds this request
 	mode  Mode
 	ready chan error // buffered(1); nil error = granted
 }
@@ -63,26 +89,106 @@ type lockState struct {
 	queue   []*request
 }
 
+// stripe is one shard of the lock table. Its mutex guards every field;
+// cross-stripe operations lock stripes in index order.
+type stripe struct {
+	mu    sync.Mutex
+	items map[core.ItemID]*lockState
+	held  map[core.TxnID]map[core.ItemID]Mode // reverse index, this stripe's items only
+	waits map[core.TxnID]*request             // at most one wait per txn globally
+}
+
+// txnShard is one shard of the touched-stripe index: for each live
+// transaction, a bitmask of the stripes it has acquired (or queued) on,
+// so Release visits only those stripes instead of all of them.
+type txnShard struct {
+	mu      sync.Mutex
+	touched map[core.TxnID]uint64
+}
+
 // Manager is a strict-2PL lock manager. All methods are safe for
 // concurrent use. Locks are held until Release(txn) — strictness — so
 // cascading aborts cannot occur.
 type Manager struct {
-	mu      sync.Mutex
-	items   map[core.ItemID]*lockState
-	held    map[core.TxnID]map[core.ItemID]Mode // reverse index
-	waits   map[core.TxnID]*request             // at most one wait per txn
+	stripes []*stripe
+	txns    [txnShards]txnShard
 	timeout time.Duration
-	closed  bool
+	closed  atomic.Bool
 }
 
 // New returns a manager with the given acquisition timeout (0 means wait
-// forever, relying on deadlock detection alone).
+// forever, relying on deadlock detection alone) and the default stripe
+// count.
 func New(timeout time.Duration) *Manager {
-	return &Manager{
-		items:   make(map[core.ItemID]*lockState),
-		held:    make(map[core.TxnID]map[core.ItemID]Mode),
-		waits:   make(map[core.TxnID]*request),
-		timeout: timeout,
+	return NewSharded(timeout, defaultStripes)
+}
+
+// NewSharded returns a manager with an explicit stripe count, rounded up
+// to a power of two, at least 1 and at most 64 (the touched-stripe
+// bitmask width). A single stripe reproduces the original
+// fully-serialized table (useful for comparison benchmarks).
+func NewSharded(timeout time.Duration, stripes int) *Manager {
+	n := 1
+	for n < stripes && n < maxStripes {
+		n <<= 1
+	}
+	m := &Manager{stripes: make([]*stripe, n), timeout: timeout}
+	for i := range m.stripes {
+		m.stripes[i] = &stripe{
+			items: make(map[core.ItemID]*lockState),
+			held:  make(map[core.TxnID]map[core.ItemID]Mode),
+			waits: make(map[core.TxnID]*request),
+		}
+	}
+	for i := range m.txns {
+		m.txns[i].touched = make(map[core.TxnID]uint64)
+	}
+	return m
+}
+
+// stripeIdx hashes an item to its stripe index. The multiplier is the
+// splitmix64 increment (odd, well-distributed), so adjacent item IDs land
+// on different stripes.
+func (m *Manager) stripeIdx(item core.ItemID) int {
+	h := uint64(item) * 0x9E3779B97F4A7C15
+	return int((h >> 32) & uint64(len(m.stripes)-1))
+}
+
+// stripeFor returns the stripe holding item's lock state.
+func (m *Manager) stripeFor(item core.ItemID) *stripe {
+	return m.stripes[m.stripeIdx(item)]
+}
+
+// markTouched records that txn has acquired or queued on stripe idx.
+func (m *Manager) markTouched(txn core.TxnID, idx int) {
+	sh := &m.txns[uint64(txn)%txnShards]
+	sh.mu.Lock()
+	sh.touched[txn] |= 1 << idx
+	sh.mu.Unlock()
+}
+
+// takeTouched returns and clears txn's touched-stripe bitmask.
+func (m *Manager) takeTouched(txn core.TxnID) uint64 {
+	sh := &m.txns[uint64(txn)%txnShards]
+	sh.mu.Lock()
+	mask := sh.touched[txn]
+	delete(sh.touched, txn)
+	sh.mu.Unlock()
+	return mask
+}
+
+// lockAll locks every stripe in index order (the canonical order that
+// makes cross-stripe operations mutually deadlock-free).
+func (m *Manager) lockAll() {
+	for _, s := range m.stripes {
+		s.mu.Lock()
+	}
+}
+
+// unlockAll releases every stripe.
+func (m *Manager) unlockAll() {
+	for _, s := range m.stripes {
+		s.mu.Unlock()
 	}
 }
 
@@ -91,36 +197,41 @@ func New(timeout time.Duration) *Manager {
 // Exclusive over a held Shared upgrades (waiting for other readers to
 // drain).
 func (m *Manager) Acquire(txn core.TxnID, item core.ItemID, mode Mode) error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	idx := m.stripeIdx(item)
+	st := m.stripes[idx]
+	// Recorded before grant/queue so Release always sees the stripe even
+	// if it races a timed-out acquisition.
+	m.markTouched(txn, idx)
+	st.mu.Lock()
+	if m.closed.Load() {
+		st.mu.Unlock()
 		return ErrClosed
 	}
-	ls := m.lockState(item)
+	ls := st.lockState(item)
 
 	if cur, ok := ls.holders[txn]; ok {
 		if cur == Exclusive || mode == Shared {
-			m.mu.Unlock()
+			st.mu.Unlock()
 			return nil // already strong enough
 		}
 		// Upgrade request: proceed to queue with upgrade semantics.
 	}
 
-	if m.grantable(ls, txn, mode) {
-		m.grant(ls, txn, item, mode)
-		m.mu.Unlock()
+	if st.grantable(ls, txn, mode) {
+		st.grant(ls, txn, item, mode)
+		st.mu.Unlock()
 		return nil
 	}
 
 	// Queue and wait.
-	req := &request{txn: txn, mode: mode, ready: make(chan error, 1)}
+	req := &request{txn: txn, item: item, mode: mode, ready: make(chan error, 1)}
 	ls.queue = append(ls.queue, req)
-	m.waits[txn] = req
-	// A new waiter may close a cycle.
-	if victim := m.findDeadlockVictim(); victim != core.NoTxn {
-		m.abortWaiter(victim)
-	}
-	m.mu.Unlock()
+	st.waits[txn] = req
+	st.mu.Unlock()
+
+	// A new waiter may close a cycle; detection needs the global graph,
+	// so it runs outside the single-stripe critical section.
+	m.detectDeadlock()
 
 	var timeoutCh <-chan time.Time
 	if m.timeout > 0 {
@@ -132,16 +243,16 @@ func (m *Manager) Acquire(txn core.TxnID, item core.ItemID, mode Mode) error {
 	case err := <-req.ready:
 		return err
 	case <-timeoutCh:
-		m.mu.Lock()
+		st.mu.Lock()
 		// Re-check: the grant may have raced the timer.
 		select {
 		case err := <-req.ready:
-			m.mu.Unlock()
+			st.mu.Unlock()
 			return err
 		default:
 		}
-		m.dropWaiter(req)
-		m.mu.Unlock()
+		st.dropWaiter(req)
+		st.mu.Unlock()
 		return fmt.Errorf("%w: txn %d on item %d (%s)", ErrTimeout, txn, item, mode)
 	}
 }
@@ -184,70 +295,82 @@ func (m *Manager) AcquireAll(txn core.TxnID, shared, exclusive []core.ItemID) er
 // transactions that become grantable. Strict 2PL: call exactly once, at
 // commit or abort.
 func (m *Manager) Release(txn core.TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if req, ok := m.waits[txn]; ok {
-		m.dropWaiter(req)
-	}
-	items := m.held[txn]
-	delete(m.held, txn)
-	for item := range items {
-		ls := m.items[item]
-		delete(ls.holders, txn)
-		m.promote(ls, item)
-		if len(ls.holders) == 0 && len(ls.queue) == 0 {
-			delete(m.items, item)
+	mask := m.takeTouched(txn)
+	for i, st := range m.stripes {
+		if mask&(1<<i) == 0 {
+			continue
 		}
+		st.mu.Lock()
+		if req, ok := st.waits[txn]; ok {
+			st.dropWaiter(req)
+		}
+		items := st.held[txn]
+		delete(st.held, txn)
+		for item := range items {
+			ls := st.items[item]
+			delete(ls.holders, txn)
+			st.promote(ls, item)
+			if len(ls.holders) == 0 && len(ls.queue) == 0 {
+				delete(st.items, item)
+			}
+		}
+		st.mu.Unlock()
 	}
 }
 
 // Holds reports the mode txn holds on item, if any.
 func (m *Manager) Holds(txn core.TxnID, item core.ItemID) (Mode, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	mode, ok := m.held[txn][item]
+	st := m.stripeFor(item)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	mode, ok := st.held[txn][item]
 	return mode, ok
 }
 
 // Stats returns the number of locked items and waiting transactions.
 func (m *Manager) Stats() (lockedItems, waiters int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.items), len(m.waits)
+	m.lockAll()
+	defer m.unlockAll()
+	for _, st := range m.stripes {
+		lockedItems += len(st.items)
+		waiters += len(st.waits)
+	}
+	return lockedItems, waiters
 }
 
 // Close fails every waiter with ErrClosed and rejects future acquisitions.
 func (m *Manager) Close() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Swap(true) {
 		return
 	}
-	m.closed = true
-	for _, req := range m.waits {
-		req.ready <- ErrClosed
-	}
-	m.waits = make(map[core.TxnID]*request)
-	for _, ls := range m.items {
-		ls.queue = nil
+	m.lockAll()
+	defer m.unlockAll()
+	for _, st := range m.stripes {
+		for _, req := range st.waits {
+			req.ready <- ErrClosed
+		}
+		st.waits = make(map[core.TxnID]*request)
+		for _, ls := range st.items {
+			ls.queue = nil
+		}
 	}
 }
 
 // lockState returns (creating if needed) the entry for item; callers hold
-// mu.
-func (m *Manager) lockState(item core.ItemID) *lockState {
-	ls, ok := m.items[item]
+// the stripe mutex.
+func (st *stripe) lockState(item core.ItemID) *lockState {
+	ls, ok := st.items[item]
 	if !ok {
 		ls = &lockState{holders: make(map[core.TxnID]Mode)}
-		m.items[item] = ls
+		st.items[item] = ls
 	}
 	return ls
 }
 
 // grantable reports whether txn could hold item in mode right now,
 // ignoring the queue (queue fairness is handled by promote). Callers hold
-// mu.
-func (m *Manager) grantable(ls *lockState, txn core.TxnID, mode Mode) bool {
+// the stripe mutex.
+func (st *stripe) grantable(ls *lockState, txn core.TxnID, mode Mode) bool {
 	// Fairness: a new shared request must not overtake a queued upgrade
 	// or exclusive request (starvation).
 	if len(ls.queue) > 0 {
@@ -268,18 +391,18 @@ func (m *Manager) grantable(ls *lockState, txn core.TxnID, mode Mode) bool {
 	return true
 }
 
-// grant records txn holding item in mode. Callers hold mu.
-func (m *Manager) grant(ls *lockState, txn core.TxnID, item core.ItemID, mode Mode) {
+// grant records txn holding item in mode. Callers hold the stripe mutex.
+func (st *stripe) grant(ls *lockState, txn core.TxnID, item core.ItemID, mode Mode) {
 	if cur, ok := ls.holders[txn]; !ok || mode == Exclusive || cur == Exclusive {
 		if cur, ok := ls.holders[txn]; ok && cur == Exclusive {
 			mode = Exclusive // never downgrade
 		}
 		ls.holders[txn] = mode
 	}
-	held := m.held[txn]
+	held := st.held[txn]
 	if held == nil {
 		held = make(map[core.ItemID]Mode)
-		m.held[txn] = held
+		st.held[txn] = held
 	}
 	if cur, ok := held[item]; !ok || cur != Exclusive {
 		held[item] = ls.holders[txn]
@@ -290,16 +413,16 @@ func (m *Manager) grant(ls *lockState, txn core.TxnID, item core.ItemID, mode Mo
 // order, stopping at the first that still conflicts (head-of-line
 // blocking preserves fairness). Upgrades are considered regardless of
 // position, since they block on other holders, not on the queue. Callers
-// hold mu.
-func (m *Manager) promote(ls *lockState, item core.ItemID) {
+// hold the stripe mutex.
+func (st *stripe) promote(ls *lockState, item core.ItemID) {
 	for {
 		advanced := false
 		// First: any waiting upgrade whose only blockers are gone.
 		for i, req := range ls.queue {
-			if _, holder := ls.holders[req.txn]; holder && m.compatibleIgnoringSelf(ls, req) {
-				m.grant(ls, req.txn, item, req.mode)
+			if _, holder := ls.holders[req.txn]; holder && compatibleIgnoringSelf(ls, req) {
+				st.grant(ls, req.txn, item, req.mode)
 				ls.queue = append(ls.queue[:i:i], ls.queue[i+1:]...)
-				delete(m.waits, req.txn)
+				delete(st.waits, req.txn)
 				req.ready <- nil
 				advanced = true
 				break
@@ -313,19 +436,19 @@ func (m *Manager) promote(ls *lockState, item core.ItemID) {
 			return
 		}
 		head := ls.queue[0]
-		if !m.compatibleIgnoringSelf(ls, head) {
+		if !compatibleIgnoringSelf(ls, head) {
 			return
 		}
-		m.grant(ls, head.txn, item, head.mode)
+		st.grant(ls, head.txn, item, head.mode)
 		ls.queue = ls.queue[1:]
-		delete(m.waits, head.txn)
+		delete(st.waits, head.txn)
 		head.ready <- nil
 	}
 }
 
 // compatibleIgnoringSelf reports whether req conflicts with any holder
-// other than its own transaction. Callers hold mu.
-func (m *Manager) compatibleIgnoringSelf(ls *lockState, req *request) bool {
+// other than its own transaction. Callers hold the stripe mutex.
+func compatibleIgnoringSelf(ls *lockState, req *request) bool {
 	for other, otherMode := range ls.holders {
 		if other == req.txn {
 			continue
@@ -337,21 +460,48 @@ func (m *Manager) compatibleIgnoringSelf(ls *lockState, req *request) bool {
 	return true
 }
 
-// findDeadlockVictim builds the waits-for graph and returns a transaction
-// on a cycle (the youngest, i.e. highest TxnID), or NoTxn. Callers hold
-// mu.
-func (m *Manager) findDeadlockVictim() core.TxnID {
+// detectDeadlock locks all stripes, builds the global waits-for graph,
+// and aborts the victim of any cycle found. Runs after a transaction
+// queues (the only event that can close a cycle).
+func (m *Manager) detectDeadlock() {
+	m.lockAll()
+	defer m.unlockAll()
+	victim := m.findDeadlockVictimLocked()
+	if victim == core.NoTxn {
+		return
+	}
+	for _, st := range m.stripes {
+		if req, ok := st.waits[victim]; ok {
+			st.dropWaiter(req)
+			req.ready <- fmt.Errorf("%w: txn %d", ErrDeadlock, victim)
+			return
+		}
+	}
+}
+
+// findDeadlockVictimLocked builds the waits-for graph across all stripes
+// and returns a transaction on a cycle (the youngest, i.e. highest
+// TxnID), or NoTxn. Callers hold every stripe mutex.
+func (m *Manager) findDeadlockVictimLocked() core.TxnID {
 	// waits-for: waiting txn -> each conflicting holder.
-	edges := make(map[core.TxnID][]core.TxnID, len(m.waits))
-	for item, ls := range m.items {
-		_ = item
-		for _, req := range ls.queue {
-			for holder, holderMode := range ls.holders {
-				if holder == req.txn {
-					continue
-				}
-				if req.mode == Exclusive || holderMode == Exclusive {
-					edges[req.txn] = append(edges[req.txn], holder)
+	var edges map[core.TxnID][]core.TxnID
+	waiting := make(map[core.TxnID]bool)
+	for _, st := range m.stripes {
+		for txn := range st.waits {
+			waiting[txn] = true
+		}
+		for _, ls := range st.items {
+			for _, req := range ls.queue {
+				for holder, holderMode := range ls.holders {
+					if holder == req.txn {
+						continue
+					}
+					if req.mode == Exclusive || holderMode == Exclusive {
+						if edges == nil {
+							edges = make(map[core.TxnID][]core.TxnID)
+						}
+						edges[req.txn] = append(edges[req.txn], holder)
+					}
 				}
 			}
 		}
@@ -402,13 +552,11 @@ func (m *Manager) findDeadlockVictim() core.TxnID {
 		}
 	}
 	// Only a waiter can be woken with an error; if the chosen victim is
-	// not waiting (it is a holder in the cycle... every cycle member
-	// waits by construction of the edges, except holders reached at the
-	// end) pick the youngest waiting member.
-	if _, ok := m.waits[victim]; !ok {
+	// not waiting, pick the youngest waiting member of the cycle.
+	if !waiting[victim] {
 		victim = core.NoTxn
 		for _, t := range cycle {
-			if _, ok := m.waits[t]; ok && t > victim {
+			if waiting[t] && t > victim {
 				victim = t
 			}
 		}
@@ -416,29 +564,20 @@ func (m *Manager) findDeadlockVictim() core.TxnID {
 	return victim
 }
 
-// abortWaiter fails a waiting transaction with ErrDeadlock. Callers hold
-// mu.
-func (m *Manager) abortWaiter(txn core.TxnID) {
-	req, ok := m.waits[txn]
+// dropWaiter removes a request from its item's queue and the wait index.
+// Callers hold the stripe mutex of the request's item.
+func (st *stripe) dropWaiter(req *request) {
+	delete(st.waits, req.txn)
+	ls, ok := st.items[req.item]
 	if !ok {
 		return
 	}
-	m.dropWaiter(req)
-	req.ready <- fmt.Errorf("%w: txn %d", ErrDeadlock, txn)
-}
-
-// dropWaiter removes a request from its queue and the wait index. Callers
-// hold mu.
-func (m *Manager) dropWaiter(req *request) {
-	delete(m.waits, req.txn)
-	for item, ls := range m.items {
-		for i, q := range ls.queue {
-			if q == req {
-				ls.queue = append(ls.queue[:i:i], ls.queue[i+1:]...)
-				// Removing a waiter can unblock the queue behind it.
-				m.promote(ls, item)
-				return
-			}
+	for i, q := range ls.queue {
+		if q == req {
+			ls.queue = append(ls.queue[:i:i], ls.queue[i+1:]...)
+			// Removing a waiter can unblock the queue behind it.
+			st.promote(ls, req.item)
+			return
 		}
 	}
 }

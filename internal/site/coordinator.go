@@ -27,21 +27,23 @@ func (s *Site) coordinate(env *msg.Envelope, body *msg.ClientTxn) {
 
 	// Concurrent mode: strict 2PL — shared locks on the read set,
 	// exclusive on the write set, held until the transaction completes.
-	// A timeout here is contention or distributed deadlock: abort, the
-	// client may retry.
+	// Failures here are retriable aborts, reported distinctly: a deadlock
+	// victim (local waits-for cycle) versus a lock-wait timeout
+	// (contention, or a distributed cycle only the timeout can break).
 	if s.concurrent() {
 		lm := s.lockManager()
 		if err := lm.AcquireAll(t.ID, core.ReadSet(t.Ops), core.WriteSet(t.Ops)); err != nil {
 			lm.Release(t.ID)
+			reason := lockAbortReason(err)
 			s.mu.Lock()
 			s.stats.Aborted++
 			up := s.state == core.StatusUp
 			s.mu.Unlock()
 			if up {
 				s.reg.Add(CounterAborts, 1)
-				s.emit(tr, trace.PhaseAbort, txn.AbortLockTimeout, start)
+				s.emit(tr, trace.PhaseAbort, reason, start)
 				s.caller.Reply(env, &msg.TxnResult{
-					Txn: t.ID, AbortReason: txn.AbortLockTimeout,
+					Txn: t.ID, AbortReason: reason,
 					ElapsedNanos: uint64(time.Since(start).Nanoseconds()),
 				})
 			}

@@ -91,7 +91,8 @@ func (s *Site) handlePrepare(env *msg.Envelope, body *msg.Prepare) {
 
 	// Concurrent mode: take exclusive locks on this copy of the write
 	// set before staging — the participant half of distributed 2PL. A
-	// timeout (contention or distributed deadlock) is a retriable NACK.
+	// deadlock or timeout is a retriable NACK, with the reason preserved
+	// so the coordinator's abort keeps the two distinguishable.
 	var lm *lockmgr.Manager
 	if s.concurrent() {
 		lm = s.lockManager()
@@ -101,7 +102,7 @@ func (s *Site) handlePrepare(env *msg.Envelope, body *msg.Prepare) {
 		}
 		if err := lm.AcquireAll(body.Txn, nil, items); err != nil {
 			lm.Release(body.Txn)
-			s.caller.Reply(env, &msg.PrepareAck{Txn: body.Txn, OK: false, Reason: txn.AbortLockTimeout})
+			s.caller.Reply(env, &msg.PrepareAck{Txn: body.Txn, OK: false, Reason: lockAbortReason(err)})
 			return
 		}
 	}

@@ -23,6 +23,7 @@
 package site
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"minraid/internal/storage"
 	"minraid/internal/trace"
 	"minraid/internal/transport"
+	"minraid/internal/txn"
 )
 
 // Timer and counter names recorded in the metrics registry. The experiment
@@ -153,6 +155,15 @@ type Config struct {
 	// Site failures need no such care — fail-locks exist precisely to
 	// absorb them.
 	ConcurrentTxns int
+	// LockWaitBudget bounds how long a concurrent-mode transaction waits
+	// for one lock before aborting with a retriable timeout. Zero
+	// defaults to AckTimeout/2. It must stay well under AckTimeout: a
+	// participant blocked on locks longer than the coordinator's patience
+	// would be mistaken for a failed site, and a lock wait must surface
+	// as a retriable NACK, never as a spurious type-2 announcement. At
+	// higher ConcurrentTxns degrees a larger fraction of AckTimeout (or a
+	// larger AckTimeout) reduces spurious contention aborts.
+	LockWaitBudget time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -176,6 +187,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.AckTimeout <= 0 {
 		c.AckTimeout = 250 * time.Millisecond
+	}
+	if c.LockWaitBudget <= 0 {
+		c.LockWaitBudget = c.AckTimeout / 2
+	}
+	if c.LockWaitBudget >= c.AckTimeout {
+		return fmt.Errorf("site: lock-wait budget %v must stay under the ack timeout %v (a lock wait must not look like a site failure)", c.LockWaitBudget, c.AckTimeout)
 	}
 	if c.BatchCopierThreshold < 0 || c.BatchCopierThreshold > 1 {
 		return fmt.Errorf("site: batch copier threshold %v out of [0,1]", c.BatchCopierThreshold)
@@ -330,16 +347,24 @@ func New(cfg Config, net transport.Network) (*Site, error) {
 }
 
 // newLockManager builds the 2PL manager for concurrent mode; serial mode
-// (the paper's) needs none. The acquisition timeout doubles as the
-// distributed-deadlock breaker. It must stay well under the ack timeout:
-// a participant blocked on locks longer than the coordinator's patience
-// would be mistaken for a failed site, and a lock wait must surface as a
-// retriable NACK, never as a spurious type-2 announcement.
+// (the paper's) needs none. The acquisition timeout (Config.LockWaitBudget)
+// doubles as the distributed-deadlock breaker for cycles spanning sites;
+// local cycles are caught earlier by the waits-for detector.
 func newLockManager(cfg Config) *lockmgr.Manager {
 	if cfg.ConcurrentTxns <= 1 {
 		return nil
 	}
-	return lockmgr.New(cfg.AckTimeout / 2)
+	return lockmgr.New(cfg.LockWaitBudget)
+}
+
+// lockAbortReason maps a lock-acquisition failure to its abort reason,
+// keeping deadlock victims distinguishable from wait timeouts in every
+// table downstream.
+func lockAbortReason(err error) string {
+	if errors.Is(err, lockmgr.ErrDeadlock) {
+		return txn.AbortDeadlock
+	}
+	return txn.AbortLockTimeout
 }
 
 // concurrent reports whether the site runs the interleaved-execution

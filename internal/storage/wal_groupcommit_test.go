@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+)
+
+// TestWALPartialAppendWindow is the regression test for the
+// partial-write window in Apply: a failed append used to leave its torn
+// bytes in place while later appends succeeded after them, so replay —
+// which must stop at the first corrupt frame — silently dropped the
+// committed suffix. The fix truncates back to the last well-formed
+// record boundary before returning the error.
+func TestWALPartialAppendWindow(t *testing.T) {
+	const items = 2
+	dir := t.TempDir()
+	s, err := OpenWAL(WALOptions{Dir: dir, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A good record, then an injected torn write (half the frame reaches
+	// the file), then another good record.
+	if _, err := s.Apply(core.ItemVersion{Item: 0, Version: 1, Value: []byte{1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	s.logMu.Lock()
+	s.testWrite = func(b []byte) (int, error) {
+		n, _ := s.log.Write(b[:len(b)/2])
+		return n, errors.New("injected: disk full mid-frame")
+	}
+	s.logMu.Unlock()
+	if _, err := s.Apply(core.ItemVersion{Item: 1, Version: 1, Value: []byte{1, 1}}); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	s.logMu.Lock()
+	s.testWrite = nil
+	s.logMu.Unlock()
+	if _, err := s.Apply(core.ItemVersion{Item: 0, Version: 2, Value: []byte{2, 0}}); err != nil {
+		t.Fatalf("append after recovered torn write: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay must recover BOTH good records. Before the truncate-back
+	// fix the log was [item0 v1][torn][item0 v2]: replay stopped at the
+	// tear and item 0 came back as version 1.
+	re, err := OpenWAL(WALOptions{Dir: dir, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	iv, err := re.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Version != 2 {
+		t.Fatalf("item 0 replayed as version %d, want 2 (suffix after torn write lost)", iv.Version)
+	}
+	// The torn record itself must not have survived.
+	if iv, err := re.Get(1); err != nil || iv.Version != 0 {
+		t.Fatalf("torn record leaked into replay: %v %v", iv, err)
+	}
+}
+
+// TestWALFailStopAfterUnrecoverableAppend covers the fail-stop branch:
+// when the truncate-back itself fails, the log must refuse all further
+// appends instead of burying the tear under later records.
+func TestWALFailStopAfterUnrecoverableAppend(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWAL(WALOptions{Dir: dir, Items: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(core.ItemVersion{Item: 0, Version: 1, Value: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Close the descriptor out from under the store: the write fails and
+	// so does the truncate-back.
+	s.log.Close()
+	if _, err := s.Apply(core.ItemVersion{Item: 0, Version: 2, Value: []byte{2}}); err == nil {
+		t.Fatal("append on a dead log reported success")
+	}
+	if _, err := s.Apply(core.ItemVersion{Item: 0, Version: 3, Value: []byte{3}}); err == nil {
+		t.Fatal("append after unrecoverable failure must fail-stop")
+	}
+	s.logMu.Lock()
+	failed := s.logFailed
+	s.logMu.Unlock()
+	if failed == nil {
+		t.Fatal("logFailed not latched")
+	}
+}
+
+// TestWALGroupCommitDurability drives concurrent appliers through the
+// group-commit path with per-write sync and checks every acknowledged
+// record survives reopen.
+func TestWALGroupCommitDurability(t *testing.T) {
+	const items = 8
+	dir := t.TempDir()
+	s, err := OpenWAL(WALOptions{Dir: dir, Items: items, Sync: true, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, items)
+	for i := 0; i < items; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for v := 1; v <= 5; v++ {
+				if _, err := s.Apply(core.ItemVersion{Item: core.ItemID(i), Version: core.TxnID(v), Value: []byte{byte(v), byte(i)}}); err != nil {
+					errCh <- fmt.Errorf("item %d v%d: %w", i, v, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenWAL(WALOptions{Dir: dir, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	checkVersions(t, re, items, 5)
+}
+
+// TestWALGroupCommitBatches proves appends actually coalesce: while the
+// committer is stalled inside the first flush, further appliers must
+// accumulate into one batch that flushes as a single write.
+func TestWALGroupCommitBatches(t *testing.T) {
+	const followers = 6
+	dir := t.TempDir()
+	s, err := OpenWAL(WALOptions{Dir: dir, Items: followers + 1, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var (
+		writeCalls int
+		entered    = make(chan struct{})
+		release    = make(chan struct{})
+		first      = true
+	)
+	s.logMu.Lock()
+	s.testWrite = func(b []byte) (int, error) {
+		writeCalls++
+		if first {
+			first = false
+			close(entered)
+			<-release // stall the first flush
+		}
+		return s.log.Write(b)
+	}
+	s.logMu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Apply(core.ItemVersion{Item: 0, Version: 1, Value: []byte{1}}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-entered // committer is now stalled flushing record 0
+
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Apply(core.ItemVersion{Item: core.ItemID(i), Version: 1, Value: []byte{byte(i)}}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	// Wait until all followers sit in the accumulating batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := 0
+		if s.batch != nil {
+			n = s.batch.recs
+		}
+		s.mu.Unlock()
+		if n == followers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d followers accumulated", n, followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	s.logMu.Lock()
+	calls := writeCalls
+	s.testWrite = nil
+	s.logMu.Unlock()
+	if calls != 2 {
+		t.Errorf("%d records flushed in %d writes, want 2 (1 + one coalesced batch)", followers+1, calls)
+	}
+}

@@ -3,7 +3,6 @@ package workload
 import (
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 
 	"minraid/internal/core"
 )
@@ -28,7 +27,8 @@ type ET1 struct {
 	Items    int
 	Branches int
 	Tellers  int
-	Rng      *rand.Rand
+	// Seed roots the per-transaction random streams (see package doc).
+	Seed int64
 }
 
 // NewET1 partitions items into 1 branch + 10 tellers per 100 items, the
@@ -43,7 +43,7 @@ func NewET1(items int, seed int64) *ET1 {
 		// Tiny databases: one branch, one teller, rest accounts.
 		branches, tellers = 1, 1
 	}
-	return &ET1{Items: items, Branches: branches, Tellers: tellers, Rng: rand.New(rand.NewSource(seed))}
+	return &ET1{Items: items, Branches: branches, Tellers: tellers, Seed: seed}
 }
 
 // Name implements Generator.
@@ -60,12 +60,13 @@ func (e *ET1) AccountItem(n int) core.ItemID {
 }
 
 // Next implements Generator: read-modify-write of one account, one teller
-// and one branch.
+// and one branch. Safe for concurrent use; deterministic in (Seed, id).
 func (e *ET1) Next(id core.TxnID) []core.Op {
-	branch := core.ItemID(e.Rng.Intn(e.Branches))
-	teller := core.ItemID(e.Branches + e.Rng.Intn(e.Tellers))
-	account := core.ItemID(e.Branches + e.Tellers + e.Rng.Intn(e.Accounts()))
-	delta := EncodeAmount(int64(e.Rng.Intn(1999) - 999)) // -999..+999
+	rng := txnRng(e.Seed, id)
+	branch := core.ItemID(rng.Intn(e.Branches))
+	teller := core.ItemID(e.Branches + rng.Intn(e.Tellers))
+	account := core.ItemID(e.Branches + e.Tellers + rng.Intn(e.Accounts()))
+	delta := EncodeAmount(int64(rng.Intn(1999) - 999)) // -999..+999
 	return []core.Op{
 		core.Read(account), core.Write(account, delta),
 		core.Read(teller), core.Write(teller, delta),
@@ -97,7 +98,8 @@ type Wisconsin struct {
 	Items    int
 	ScanLen  int // items per range scan
 	BatchLen int // items per batch update
-	Rng      *rand.Rand
+	// Seed roots the per-transaction random streams (see package doc).
+	Seed int64
 }
 
 // NewWisconsin returns a generator with 10-item scans and 5-item batches.
@@ -109,7 +111,7 @@ func NewWisconsin(items int, seed int64) *Wisconsin {
 	if batch > items {
 		batch = items
 	}
-	return &Wisconsin{Items: items, ScanLen: scan, BatchLen: batch, Rng: rand.New(rand.NewSource(seed))}
+	return &Wisconsin{Items: items, ScanLen: scan, BatchLen: batch, Seed: seed}
 }
 
 // Name implements Generator.
@@ -117,11 +119,13 @@ func (w *Wisconsin) Name() string {
 	return fmt.Sprintf("wisconsin(items=%d,scan=%d,batch=%d)", w.Items, w.ScanLen, w.BatchLen)
 }
 
-// Next implements Generator: alternating scans and batch updates.
+// Next implements Generator: alternating scans and batch updates. Safe
+// for concurrent use; deterministic in (Seed, id).
 func (w *Wisconsin) Next(id core.TxnID) []core.Op {
+	rng := txnRng(w.Seed, id)
 	if id%2 == 1 {
 		// Range scan.
-		start := w.Rng.Intn(w.Items - w.ScanLen + 1)
+		start := rng.Intn(w.Items - w.ScanLen + 1)
 		ops := make([]core.Op, 0, w.ScanLen)
 		for i := 0; i < w.ScanLen; i++ {
 			ops = append(ops, core.Read(core.ItemID(start+i)))
@@ -129,7 +133,7 @@ func (w *Wisconsin) Next(id core.TxnID) []core.Op {
 		return ops
 	}
 	// Batch update.
-	start := w.Rng.Intn(w.Items - w.BatchLen + 1)
+	start := rng.Intn(w.Items - w.BatchLen + 1)
 	ops := make([]core.Op, 0, w.BatchLen)
 	for i := 0; i < w.BatchLen; i++ {
 		item := core.ItemID(start + i)

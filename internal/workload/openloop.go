@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"sync"
+	"time"
+)
+
+// OpenLoop is an open-loop (arrival-rate) load driver. A closed-loop
+// driver — N workers each issuing the next transaction when the previous
+// one finishes — lets a slow system throttle its own load, hiding queueing
+// delay (the "coordinated omission" problem). An open-loop driver instead
+// schedules arrival i at start + i/Rate regardless of how the system is
+// doing, and measures each transaction's latency from its *scheduled*
+// arrival, so time spent waiting for an in-flight slot counts against the
+// system, exactly as a queued request would experience it.
+//
+// MaxInFlight bounds concurrently outstanding transactions so an
+// overloaded run degrades into visible queueing delay rather than
+// unbounded goroutine growth.
+type OpenLoop struct {
+	// Rate is the target arrival rate in transactions per second.
+	// Non-positive rates are treated as "as fast as the in-flight bound
+	// allows" (no pacing).
+	Rate float64
+	// Count is the total number of transactions to issue.
+	Count int
+	// MaxInFlight bounds outstanding transactions; 0 defaults to 64.
+	MaxInFlight int
+}
+
+// OpenLoopResult reports one driver run.
+type OpenLoopResult struct {
+	// Issued is the number of transactions issued (== Count).
+	Issued int
+	// Elapsed is the wall-clock span from first scheduled arrival to the
+	// completion of the last transaction.
+	Elapsed time.Duration
+	// Latencies[i] is transaction i's completion latency measured from
+	// its scheduled arrival time (not its actual issue time).
+	Latencies []time.Duration
+}
+
+// Run issues Count transactions, pacing arrivals at Rate per second and
+// calling issue(seq) for each on its own goroutine, at most MaxInFlight
+// at a time. It blocks until all transactions complete. issue must be
+// safe for concurrent invocation.
+func (o *OpenLoop) Run(issue func(seq int)) OpenLoopResult {
+	n := o.Count
+	if n <= 0 {
+		return OpenLoopResult{}
+	}
+	inflight := o.MaxInFlight
+	if inflight <= 0 {
+		inflight = 64
+	}
+	var interval time.Duration
+	if o.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / o.Rate)
+	}
+
+	res := OpenLoopResult{Issued: n, Latencies: make([]time.Duration, n)}
+	slots := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if wait := time.Until(scheduled); wait > 0 {
+			time.Sleep(wait)
+		}
+		// Waiting for a slot happens after the arrival is due, so the
+		// latency clock (anchored at scheduled) keeps running through
+		// any queueing delay.
+		slots <- struct{}{}
+		wg.Add(1)
+		go func(seq int, scheduled time.Time) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			issue(seq)
+			res.Latencies[seq] = time.Since(scheduled)
+		}(i, scheduled)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
