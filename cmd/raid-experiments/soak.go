@@ -45,6 +45,9 @@ func runSoak(args []string) {
 		delay      = fs.Duration("delay", 0, "per-hop communication cost")
 		ack        = fs.Duration("ack", 50*time.Millisecond, "failure-detection ack timeout")
 		partitions = fs.Bool("partitions", false, "schedule deterministic link faults (partitions, one-way drops, cuts) and reconcile split brain at heals")
+		scrubOn    = fs.Bool("scrub", false, "continuous heal: REDO-only instant recovery plus a background scrubber repairing fail-locks alongside the workload (replaces the drain epilogue)")
+		scrubRate  = fs.Float64("scrub-rate", 0, "scrubber budget in items/sec (0: unthrottled)")
+		scrubBatch = fs.Int("scrub-batch", 0, "items per scrub copier transaction (0: scrub default)")
 		conc       = fs.Int("concurrency", 0, "per-site concurrent transaction degree (0: 4 where the policy supports it, else 1; 1: the paper's serial processing)")
 		rate       = fs.Float64("rate", 0, "open-loop arrival rate in txns/sec for the concurrent driver (0: issue as fast as the in-flight bound allows)")
 		lockwait   = fs.Duration("lockwait", 0, "per-site lock-wait budget; must stay below -ack so a lock wait never looks like a site failure (0: ack/2)")
@@ -78,6 +81,9 @@ func runSoak(args []string) {
 			MaxJitter: *jitter,
 		},
 		Partitions:     *partitions,
+		Scrub:          *scrubOn,
+		ScrubRate:      *scrubRate,
+		ScrubBatch:     *scrubBatch,
 		Transport:      *trans,
 		WALDir:         *persist,
 		Concurrency:    *conc,
@@ -92,6 +98,9 @@ func runSoak(args []string) {
 	if *partitions {
 		mode = ", partitions on"
 	}
+	if *scrubOn {
+		mode += ", scrub on"
+	}
 	header(fmt.Sprintf("Chaos soak: %d seed(s) x %d epoch(s) x %d txns (policy=%s transport=%s drop=%v dup=%v jitter=%v%s)",
 		len(cfg.Seeds), cfg.EpochsPerSeed, cfg.TxnsPerEpoch, *policyName, *trans, *drop, *dup, *jitter, mode))
 	res, err := experiment.RunSoak(cfg)
@@ -104,6 +113,13 @@ func runSoak(args []string) {
 		for _, e := range res.Epochs {
 			fmt.Printf("seed %d epoch %d partition schedule (fingerprint %016x): %s\n",
 				e.Seed, e.Epoch, e.NetFingerprint, strings.Join(e.NetEvents, "; "))
+		}
+	}
+	if *scrubOn {
+		for _, e := range res.Epochs {
+			fmt.Printf("seed %d epoch %d heal: %v via %d scrub passes (%d items refreshed, %d copier txns), %d fail-locks left\n",
+				e.Seed, e.Epoch, e.HealTime.Round(time.Millisecond),
+				e.ScrubPasses, e.ScrubItems, e.ScrubCopiers, e.LocksAfterDrain)
 		}
 	}
 	for _, e := range res.Epochs {
@@ -124,10 +140,14 @@ func runSoak(args []string) {
 		if err := verifyRepro(cfg, res.Epochs[0]); err != nil {
 			fmt.Fprintln(os.Stderr, "raid-experiments: soak:", err)
 			ok = false
-		} else if res.Epochs[0].Concurrency > 1 {
-			fmt.Printf("\nrepro check: seed %d epoch %d re-run reproduced identical failure events (%d), partition events (%d) and workload fingerprint %016x (concurrency %d: per-link chaos counters may race and are not compared)\n",
+		} else if res.Epochs[0].Concurrency > 1 || cfg.Scrub {
+			why := fmt.Sprintf("concurrency %d: per-link chaos counters may race and are not compared", res.Epochs[0].Concurrency)
+			if cfg.Scrub {
+				why = "scrub traffic is timing-dependent, so per-link chaos counters are not compared"
+			}
+			fmt.Printf("\nrepro check: seed %d epoch %d re-run reproduced identical failure events (%d), partition events (%d) and workload fingerprint %016x (%s)\n",
 				res.Epochs[0].Seed, res.Epochs[0].Epoch, len(res.Epochs[0].FailEvents), len(res.Epochs[0].NetEvents),
-				res.Epochs[0].WorkloadFingerprint, res.Epochs[0].Concurrency)
+				res.Epochs[0].WorkloadFingerprint, why)
 		} else {
 			fmt.Printf("\nrepro check: seed %d epoch %d re-run reproduced identical failure events (%d), partition events (%d), workload fingerprint %016x and chaos decisions on %d links\n",
 				res.Epochs[0].Seed, res.Epochs[0].Epoch, len(res.Epochs[0].FailEvents), len(res.Epochs[0].NetEvents),
@@ -145,7 +165,9 @@ func runSoak(args []string) {
 // chaos layer's per-link decision counters. In concurrent mode those
 // counters are excluded: goroutine interleavings reorder retries and
 // timer-driven sends, so per-link consumption of the chaos decision stream
-// legitimately differs between bit-identical workloads. With persistence
+// legitimately differs between bit-identical workloads. Scrub mode is
+// excluded for the same reason — the background scrubber's batches land
+// at wall-clock times, not schedule points. With persistence
 // the re-run gets a fresh state directory so it starts from the same empty
 // stores the first epoch saw.
 func verifyRepro(cfg experiment.SoakConfig, first experiment.EpochResult) error {
@@ -177,7 +199,7 @@ func verifyRepro(cfg experiment.SoakConfig, first experiment.EpochResult) error 
 		return fmt.Errorf("repro check failed: seed %d epoch %d issued a different workload stream:\nfirst: %016x\nrerun: %016x",
 			first.Seed, first.Epoch, first.WorkloadFingerprint, re.WorkloadFingerprint)
 	}
-	if first.Concurrency <= 1 && !reflect.DeepEqual(re.Chaos, first.Chaos) {
+	if first.Concurrency <= 1 && !cfg.Scrub && !reflect.DeepEqual(re.Chaos, first.Chaos) {
 		return fmt.Errorf("repro check failed: seed %d epoch %d produced different chaos decisions:\nfirst: %s\nrerun: %s",
 			first.Seed, first.Epoch, fmtChaos(first.Chaos), fmtChaos(re.Chaos))
 	}

@@ -45,8 +45,20 @@ type Config struct {
 	DisableFailLockMaintenance bool
 	// BatchCopierThreshold enables two-step recovery on every site.
 	BatchCopierThreshold float64
+	// InstantRecovery selects REDO-only recovery on every site: a
+	// recovering site is operational the moment the type-1 announcement
+	// installs its fail-lock set, serving clean reads immediately and
+	// fail-locked reads through demand copiers, with the remaining stale
+	// set left for the background scrubber (internal/scrub) instead of
+	// the threshold/batch two-step. Mutually exclusive with
+	// BatchCopierThreshold.
+	InstantRecovery bool
 	// EnableType3 enables type-3 control transactions on every site.
 	EnableType3 bool
+	// Type3Batch bounds the items one type-3 replication push carries;
+	// larger endangered sets are chunked with the backup site re-chosen
+	// per chunk (0: the site default).
+	Type3Batch int
 	// StoreFactory supplies per-site stores (nil: in-memory, as in the
 	// paper).
 	StoreFactory func(id core.SiteID) (storage.Store, error)
@@ -160,7 +172,9 @@ func New(cfg Config) (*Cluster, error) {
 			AckTimeout:                 cfg.AckTimeout,
 			DisableFailLockMaintenance: cfg.DisableFailLockMaintenance,
 			BatchCopierThreshold:       cfg.BatchCopierThreshold,
+			InstantRecovery:            cfg.InstantRecovery,
 			EnableType3:                cfg.EnableType3,
+			Type3Batch:                 cfg.Type3Batch,
 			Replicas:                   cfg.Replicas,
 			ConcurrentTxns:             cfg.ConcurrentTxns,
 			LockWaitBudget:             cfg.LockWaitBudget,
@@ -326,8 +340,19 @@ func (c *Cluster) Exec(coordinator core.SiteID, ops []core.Op) (*msg.TxnResult, 
 
 // ExecTxn sends a database transaction with an explicit ID.
 func (c *Cluster) ExecTxn(coordinator core.SiteID, id core.TxnID, ops []core.Op) (*msg.TxnResult, error) {
+	return c.ExecTxnTimeout(coordinator, id, ops, c.cfg.ManagerTimeout)
+}
+
+// ExecTxnTimeout is ExecTxn with a per-call reply deadline (non-positive
+// falls back to ManagerTimeout). Background repair traffic — the
+// scrubber's read batches — uses it so a transaction racing a Fail order
+// stalls for a bounded wait, not the full manager timeout.
+func (c *Cluster) ExecTxnTimeout(coordinator core.SiteID, id core.TxnID, ops []core.Op, timeout time.Duration) (*msg.TxnResult, error) {
+	if timeout <= 0 {
+		timeout = c.cfg.ManagerTimeout
+	}
 	start := time.Now()
-	reply, err := c.caller.CallT(uint64(id), coordinator, &msg.ClientTxn{Txn: id, Ops: ops})
+	reply, err := c.caller.CallTimeoutT(uint64(id), coordinator, &msg.ClientTxn{Txn: id, Ops: ops}, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (txn %d): %v", ErrNoResponse, coordinator, id, err)
 	}

@@ -272,13 +272,23 @@ func (c *Cluster) installLocks(holder, site core.SiteID, items []core.ItemID, se
 // copier refreshes run and how many (item, truly-up site) locks remain —
 // zero on a healed, fully-recovered system; locks for genuinely down
 // sites are correct state and are not counted or drained.
+//
+// Passes repeat until a pass makes no progress — it ran no copier and the
+// lock population did not shrink. A fixed pass count is not enough: a
+// donor refuses a copy request while its own copy of the item is
+// fail-locked, so divergent tables can chain heals (each pass unblocks
+// exactly one more donor) arbitrarily deep, one pass per link.
 func (c *Cluster) DrainFailLocks(trueUp []bool, maxOps int) (copiers, remaining int, err error) {
 	if maxOps <= 0 {
 		maxOps = 8
 	}
-	const passes = 4
-	for pass := 0; pass < passes; pass++ {
-		total := 0
+	// Every productive pass clears at least one (item, site) lock, so the
+	// lock population bounds the passes; the cap only guards the loop
+	// against an unforeseen live-lock.
+	maxPasses := c.cfg.Sites*c.cfg.Items + 2
+	prevTotal := -1
+	for pass := 0; pass < maxPasses; pass++ {
+		total, passCopiers := 0, 0
 		for i := 0; i < c.cfg.Sites; i++ {
 			if !trueUp[i] {
 				continue
@@ -304,24 +314,43 @@ func (c *Cluster) DrainFailLocks(trueUp []bool, maxOps int) (copiers, remaining 
 				if err != nil {
 					return copiers, 0, err
 				}
-				copiers += int(res.Copiers)
+				passCopiers += int(res.Copiers)
 			}
 		}
+		copiers += passCopiers
 		if total == 0 {
 			break
 		}
+		// No copier ran and the population did not shrink since the last
+		// pass: nothing left that this drain can heal (locks whose donors
+		// are genuinely unreachable). prevTotal starts at -1 so a pass of
+		// transient aborts still gets one retry.
+		if passCopiers == 0 && prevTotal >= 0 && total >= prevTotal {
+			break
+		}
+		prevTotal = total
 	}
+	remaining, err = c.FailLocksRemaining(trueUp)
+	return copiers, remaining, err
+}
+
+// FailLocksRemaining counts the (item, site) fail-locks truly-up sites
+// hold on their own copies — the population DrainFailLocks drains and the
+// scrubber heals; zero on a fully-recovered, converged system. Locks for
+// genuinely down sites are correct state and are not counted.
+func (c *Cluster) FailLocksRemaining(trueUp []bool) (int, error) {
+	remaining := 0
 	for i := 0; i < c.cfg.Sites; i++ {
 		if !trueUp[i] {
 			continue
 		}
 		locked, err := c.lockedItems(core.SiteID(i))
 		if err != nil {
-			return copiers, remaining, err
+			return remaining, err
 		}
 		remaining += len(locked)
 	}
-	return copiers, remaining, nil
+	return remaining, nil
 }
 
 // lockedItems lists the items fail-locked for id, as tracked by id's own

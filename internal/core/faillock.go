@@ -148,6 +148,27 @@ func (t *FailLockTable) Install(snapshot []uint64) error {
 	return nil
 }
 
+// MergeAhead merges another site's per-item lock words into the table,
+// adopting their word wholesale for every item where their copy version
+// is strictly ahead of ours. Commit-time maintenance rewrites an item's
+// whole lock word alongside the copy (Maintain), so the word travels with
+// the version: whoever holds the newer copy of an item holds the newer
+// lock word for it. Items where the other side is not ahead keep the
+// local word — a recovering site's surviving table may carry bits that
+// were legitimately cleared while it was down, and adopting those would
+// re-lock fresh copies.
+func (t *FailLockTable) MergeAhead(words, theirVers, ownVers []uint64) error {
+	if len(words) != len(t.bits) || len(theirVers) != len(t.bits) || len(ownVers) != len(t.bits) {
+		return fmt.Errorf("core: fail-lock merge covers %d/%d items, table holds %d", len(words), len(theirVers), len(t.bits))
+	}
+	for i, w := range words {
+		if theirVers[i] > ownVers[i] {
+			t.bits[i] = w
+		}
+	}
+	return nil
+}
+
 // Maintain performs the commit-time fail-lock maintenance of §1.2 for one
 // written item: "the nominal session vector was examined and the fail-lock
 // bits [were set] for each failed site [and cleared for each up site]. Note

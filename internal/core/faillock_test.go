@@ -102,6 +102,34 @@ func TestSnapshotInstall(t *testing.T) {
 	}
 }
 
+func TestMergeAhead(t *testing.T) {
+	tbl := NewFailLockTable(4, 3)
+	tbl.Set(0, 1) // item 0: our copy newer, word must survive
+	tbl.Set(1, 2) // item 1: their copy newer, word must be replaced
+	tbl.Set(2, 0) // item 2: versions tie, word must survive
+	words := []uint64{0b100, 0b001, 0b111, 0b010}
+	theirVers := []uint64{1, 9, 4, 5}
+	ownVers := []uint64{3, 2, 4, 5}
+	if err := tbl.MergeAhead(words, theirVers, ownVers); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.IsSet(0, 1) || tbl.IsSet(0, 2) {
+		t.Error("merge touched an item where our copy is newer")
+	}
+	if !tbl.IsSet(1, 0) || tbl.IsSet(1, 2) {
+		t.Error("merge did not adopt the word for their newer copy")
+	}
+	if !tbl.IsSet(2, 0) || tbl.IsSet(2, 1) {
+		t.Error("merge rewrote a tied item")
+	}
+	if tbl.IsSet(3, 1) {
+		t.Error("merge adopted a word for a tied item")
+	}
+	if err := tbl.MergeAhead(words[:2], theirVers, ownVers); err == nil {
+		t.Error("size-mismatched merge did not error")
+	}
+}
+
 func TestMaintainSetsDownClearsUp(t *testing.T) {
 	fl := NewFailLockTable(4, 3)
 	vec := NewSessionVector(3)

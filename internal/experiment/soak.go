@@ -17,6 +17,7 @@ import (
 	"minraid/internal/metrics"
 	"minraid/internal/msg"
 	"minraid/internal/netsched"
+	"minraid/internal/scrub"
 	"minraid/internal/storage"
 	"minraid/internal/transport"
 	"minraid/internal/workload"
@@ -77,6 +78,19 @@ type SoakConfig struct {
 	// transport, "tcp" for the loopback TCP fabric (one listener per
 	// site, CRC framing, per-sender dedup) with the same chaos layer.
 	Transport string
+	// Scrub enables the continuous-heal regime: sites recover REDO-only
+	// (operational the moment the fail-lock set is installed, no batch
+	// refresh), and a background scrubber repairs fail-locked items in
+	// rate-limited copier batches while workload traffic continues. The
+	// epoch-end epilogue then waits for the scrubber to reach zero
+	// truly-up fail-locks instead of running the DrainFailLocks passes.
+	// Ignored for policies that do not use fail-locks.
+	Scrub bool
+	// ScrubRate caps the scrubber at this many items per second
+	// (0 = unthrottled); ScrubBatch bounds items per copier transaction
+	// (0 = scrub default).
+	ScrubRate  float64
+	ScrubBatch int
 	// WALDir, when non-empty, persists every site's database in
 	// write-ahead-logged stores under WALDir/seedN/siteK and carries
 	// them across the seed's epochs: an epoch boundary becomes a
@@ -167,6 +181,14 @@ type EpochResult struct {
 	// DrainCopiers counts copier transactions run to drain fail-locks at
 	// epoch end; LocksAfterDrain is what was left (0 for a clean epoch).
 	DrainCopiers, LocksAfterDrain int
+	// HealTime is the epilogue wall time to reach zero truly-up
+	// fail-locks through the background scrubber (zero when scrub is off
+	// and the DrainFailLocks epilogue ran instead).
+	HealTime time.Duration
+	// ScrubPasses, ScrubItems and ScrubCopiers copy the scrubber's
+	// lifetime counters: table scans, items refreshed, copier
+	// transactions committed on its behalf.
+	ScrubPasses, ScrubItems, ScrubCopiers int
 	// DeferredRecoveries counts scheduled recoveries that found no
 	// reachable donor (recovery blocked, §3.2) and waited for the heal;
 	// SkippedFails counts scheduled failures skipped because a deferred
@@ -205,6 +227,10 @@ type SoakResult struct {
 	SplitBrains, DivergentItems    int
 	LocksSet, LocksCleared         int
 	DrainCopiers                   int
+	// ScrubItems and ScrubCopiers aggregate the background scrubber's
+	// work across epochs; MaxHealTime is the slowest epoch epilogue heal.
+	ScrubItems, ScrubCopiers int
+	MaxHealTime              time.Duration
 	// PartitionAbortReasons aggregates partition-time aborts by reason.
 	PartitionAbortReasons map[string]int
 	// Violations counts epochs whose audit failed.
@@ -239,6 +265,10 @@ func (r *SoakResult) String() string {
 		fmt.Fprintf(&b, "Partitions: %d partition-time txns (%d aborted), %d split-brain reconciliations, %d divergent items, fail-lock edits +%d/-%d, %d drain copiers\n",
 			r.PartitionTxns, r.PartitionAborts, r.SplitBrains, r.DivergentItems,
 			r.LocksSet, r.LocksCleared, r.DrainCopiers)
+	}
+	if r.ScrubItems > 0 || r.ScrubCopiers > 0 {
+		fmt.Fprintf(&b, "Scrub: %d items refreshed in background by %d copier txns, slowest epoch heal %v\n",
+			r.ScrubItems, r.ScrubCopiers, r.MaxHealTime.Round(time.Millisecond))
 	}
 	writeReasons := func(title string, reasons map[string]int) {
 		if len(reasons) == 0 {
@@ -324,6 +354,11 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 			res.LocksSet += er.LocksSet
 			res.LocksCleared += er.LocksCleared
 			res.DrainCopiers += er.DrainCopiers
+			res.ScrubItems += er.ScrubItems
+			res.ScrubCopiers += er.ScrubCopiers
+			if er.HealTime > res.MaxHealTime {
+				res.MaxHealTime = er.HealTime
+			}
 			for reason, n := range er.PartitionAbortReasons {
 				res.PartitionAbortReasons[reason] += n
 			}
@@ -332,9 +367,14 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 			}
 			res.Percentiles.Merge(pct)
 			total := er.ChaosTotal()
-			cfg.logf("soak seed=%d epoch=%d: %d txns (%d committed), %d repairs, %d net events, chaos sent=%d dropped=%d dup=%d cut=%d, audit=%v",
+			heal := ""
+			if cfg.Scrub {
+				heal = fmt.Sprintf(", heal=%v scrub(passes=%d items=%d copiers=%d)",
+					er.HealTime.Round(time.Millisecond), er.ScrubPasses, er.ScrubItems, er.ScrubCopiers)
+			}
+			cfg.logf("soak seed=%d epoch=%d: %d txns (%d committed), %d repairs, %d net events, chaos sent=%d dropped=%d dup=%d cut=%d%s, audit=%v",
 				seed, epoch, er.Txns, er.Committed, er.Repairs, len(er.NetEvents),
-				total.Sent, total.Dropped, total.Duplicated, total.Cut, er.AuditOK)
+				total.Sent, total.Dropped, total.Duplicated, total.Cut, heal, er.AuditOK)
 		}
 	}
 	return res, nil
@@ -404,6 +444,15 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 	}
 	ccfg.LockWaitBudget = cfg.LockWaitBudget
 	er.Concurrency = cfg.Concurrency
+	// Continuous heal: REDO-only instant recovery plus the background
+	// scrubber replace the two-step batch refresh, which is mutually
+	// exclusive with InstantRecovery by construction.
+	usesFailLocks := base.Policy == nil || base.Policy.UsesFailLocks()
+	scrubOn := cfg.Scrub && usesFailLocks
+	if scrubOn {
+		ccfg.InstantRecovery = true
+		ccfg.BatchCopierThreshold = 0
+	}
 	// Sites never close their stores (a failed site keeps its database,
 	// §1.2); the epoch owns the WAL handles and closes them after the
 	// cluster is torn down, flushing the state the next epoch reopens.
@@ -433,6 +482,28 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 		return nil, nil, 0, err
 	}
 	defer c.Close()
+
+	// The scrubber heals fail-locked items alongside the workload for the
+	// whole epoch; the epilogue waits on it instead of running drain
+	// passes. Its copier batches are bounded so a chaotic or partitioned
+	// donor path stalls one batch, not the scrub loop.
+	var scr *scrub.Scrubber
+	if scrubOn {
+		scr = scrub.New(c, scrub.Config{
+			Rate:        cfg.ScrubRate,
+			BatchSize:   cfg.ScrubBatch,
+			Interval:    base.AckTimeout,
+			ExecTimeout: 10 * base.AckTimeout,
+			Tracer:      c.Tracer(),
+		})
+		scr.Start()
+		defer scr.Stop()
+	}
+	kickScrub := func() {
+		if scr != nil {
+			scr.Kick()
+		}
+	}
 
 	gen := workload.NewUniform(base.Items, base.MaxOps, chaosCfg.Seed)
 	gen.ReadFraction = base.ReadFraction
@@ -511,6 +582,7 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 					er.RecoveryRetries += n
 					deferred[i] = false
 					trueUp[i] = true
+					kickScrub()
 				}
 				if _, err := reconcile(); err != nil {
 					return nil, nil, 0, fmt.Errorf("reconcile before txn %d: %w", txnNum, err)
@@ -549,6 +621,7 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 						return nil, nil, 0, fmt.Errorf("%s: %w", e, err)
 					default:
 						trueUp[e.Site] = true
+						kickScrub()
 					}
 					continue
 				}
@@ -558,6 +631,7 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 				}
 				er.RecoveryRetries += n
 				trueUp[e.Site] = true
+				kickScrub()
 			}
 		}
 
@@ -675,6 +749,7 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 			er.RecoveryRetries += n
 			trueUp[i] = true
 			deferred[i] = false
+			kickScrub()
 		}
 	}
 	n, err := c.RepairFalseSuspicions(trueUp, base.AckTimeout)
@@ -694,13 +769,45 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 	// copier transactions that actually refresh the stale copies. With
 	// persistence the drain also guarantees the next epoch's fresh
 	// fail-lock tables have no untracked stale on-disk copies to miss.
-	usesFailLocks := base.Policy == nil || base.Policy.UsesFailLocks()
 	if cfg.Partitions {
 		if _, err := reconcile(); err != nil {
 			return nil, nil, 0, fmt.Errorf("epilogue reconcile: %w", err)
 		}
 	}
-	if (cfg.Partitions || cfg.WALDir != "") && usesFailLocks {
+	if scrubOn {
+		// Continuous heal: no DrainFailLocks passes — wait for the
+		// scrubber to grind the remaining truly-up fail-locks to zero.
+		// Reconciliation between waits re-derives tables over the
+		// reliable manager links (a chaotic link may have eaten a clear
+		// fan-out, leaving a stray bit the scrubber's status scan has
+		// already seen cleared); anything it re-locks goes back to the
+		// scrubber for another round.
+		healStart := time.Now()
+		for pass := 0; pass < 3; pass++ {
+			scr.Kick()
+			clean := scr.WaitClean(60 * base.AckTimeout)
+			rep, err := reconcile()
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("scrub-heal reconcile: %w", err)
+			}
+			if clean && rep.LocksSet == 0 {
+				break
+			}
+		}
+		er.HealTime = time.Since(healStart)
+		remaining, err := c.FailLocksRemaining(trueUp)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("scrub-heal count: %w", err)
+		}
+		er.LocksAfterDrain = remaining
+		// Stop before the audit so no scrub batch races the final copy
+		// comparison.
+		scr.Stop()
+		st := scr.Stats()
+		er.ScrubPasses = int(st.Passes)
+		er.ScrubItems = int(st.ItemsScrubbed)
+		er.ScrubCopiers = int(st.Copiers)
+	} else if (cfg.Partitions || cfg.WALDir != "") && usesFailLocks {
 		// Drain, then reconcile again: the drain's copier clear fan-outs
 		// travel chaotic site-to-site links, and a dropped clear leaves a
 		// stray bit in one table that the drain's per-site count cannot

@@ -64,6 +64,10 @@ const (
 	KindDumpResp   //
 	KindShutdown   // order a site to terminate
 
+	// Type-1 epilogue (appended: explicit kind values are wire format).
+	KindCtrlLockSync    // recovered site -> operational sites: adopt-if-ahead lock words
+	KindCtrlLockSyncAck //
+
 	numKinds // sentinel, keep last
 )
 
@@ -95,6 +99,8 @@ var kindNames = [...]string{
 	KindDumpReq:           "dump-req",
 	KindDumpResp:          "dump-resp",
 	KindShutdown:          "shutdown",
+	KindCtrlLockSync:      "ctrl-lock-sync",
+	KindCtrlLockSyncAck:   "ctrl-lock-sync-ack",
 }
 
 // String implements fmt.Stringer.
@@ -112,7 +118,8 @@ func (k Kind) IsReply() bool {
 	switch k {
 	case KindTxnResult, KindPrepareAck, KindCommitAck, KindCopyResponse,
 		KindClearFailLocksAck, KindCtrlRecoverAck, KindCtrlFailAck,
-		KindCtrlReplicateAck, KindReadResp, KindStatusResp, KindDumpResp:
+		KindCtrlReplicateAck, KindCtrlLockSyncAck, KindReadResp,
+		KindStatusResp, KindDumpResp:
 		return true
 	}
 	return false

@@ -131,6 +131,10 @@ func newBody(kind Kind) Body {
 		return &CtrlReplicate{}
 	case KindCtrlReplicateAck:
 		return &CtrlReplicateAck{}
+	case KindCtrlLockSync:
+		return &CtrlLockSync{}
+	case KindCtrlLockSyncAck:
+		return &CtrlLockSyncAck{}
 	case KindReadReq:
 		return &ReadReq{}
 	case KindReadResp:

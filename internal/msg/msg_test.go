@@ -44,12 +44,14 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&ClearFailLocks{Txn: 9, Site: 2, Items: []core.ItemID{4, 5}},
 		&ClearFailLocksAck{Txn: 9},
 		&CtrlRecover{Site: 1, Session: 3},
-		&CtrlRecoverAck{OK: true, Vector: vec.Records(), FailLocks: []uint64{0, 3, 0, 8}},
+		&CtrlRecoverAck{OK: true, Vector: vec.Records(), FailLocks: []uint64{0, 3, 0, 8}, Versions: []uint64{2, 9, 0, 4}},
 		&CtrlRecoverAck{OK: false, Reason: "not operational"},
 		&CtrlFail{Failed: []SiteFail{{Site: 0, Session: 2}, {Site: 3, Session: 1}}},
 		&CtrlFailAck{},
 		&CtrlReplicate{Items: []core.ItemVersion{{Item: 1, Version: 2, Value: []byte("z")}}},
 		&CtrlReplicateAck{OK: true},
+		&CtrlLockSync{Site: 2, FailLocks: []uint64{0, 5, 0, 2}, Versions: []uint64{1, 7, 0, 3}},
+		&CtrlLockSyncAck{},
 		&ReadReq{Txn: 10, Items: []core.ItemID{0}},
 		&ReadReq{Txn: 11, Items: []core.ItemID{2, 3}, RequireFresh: true},
 		&ReadResp{Txn: 10, OK: true, Items: []core.ItemVersion{{Item: 0, Version: 1, Value: []byte("a")}}},
@@ -109,8 +111,8 @@ func TestIsReplyPartition(t *testing.T) {
 		KindTxnResult: true, KindPrepareAck: true, KindCommitAck: true,
 		KindCopyResponse: true, KindClearFailLocksAck: true,
 		KindCtrlRecoverAck: true, KindCtrlFailAck: true,
-		KindCtrlReplicateAck: true, KindReadResp: true,
-		KindStatusResp: true, KindDumpResp: true,
+		KindCtrlReplicateAck: true, KindCtrlLockSyncAck: true,
+		KindReadResp: true, KindStatusResp: true, KindDumpResp: true,
 	}
 	for k := KindInvalid + 1; k < numKinds; k++ {
 		if got := k.IsReply(); got != replies[k] {

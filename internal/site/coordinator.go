@@ -532,6 +532,8 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool, t
 			// count drain must never see completion before the batch
 			// copier shows in the counters.
 			s.reg.Add(CounterBatchCopiers, 1)
+		} else {
+			s.reg.Add(CounterDemandCopiers, 1)
 		}
 		calls[i] = transport.Outcall{To: donor, Body: &msg.CopyRequest{Txn: id, Items: byDonor[donor]}}
 	}

@@ -45,6 +45,8 @@ func (s *Site) handle(env *msg.Envelope) {
 		s.handleCtrlFail(env, body)
 	case *msg.CtrlReplicate:
 		s.handleCtrlReplicate(env, body)
+	case *msg.CtrlLockSync:
+		s.handleCtrlLockSync(env, body)
 	case *msg.ReadReq:
 		s.handleReadReq(env, body)
 	case *msg.StatusReq:
@@ -350,10 +352,15 @@ func (s *Site) handleCtrlRecover(env *msg.Envelope, body *msg.CtrlRecover) {
 		return
 	}
 	s.vec.MarkUp(body.Site, body.Session)
+	// The copy versions backing the snapshot travel with it so the
+	// recovering site can merge donor tables per item instead of
+	// installing whichever ack arrived first: per item, the newest copy
+	// carries the authoritative lock word.
 	resp := &msg.CtrlRecoverAck{
 		OK:        true,
 		Vector:    s.vec.Records(),
 		FailLocks: s.flocks.Snapshot(),
+		Versions:  s.versionVector(),
 	}
 	s.mu.Unlock()
 	s.caller.Reply(env, resp)
@@ -405,6 +412,31 @@ func (s *Site) handleCtrlReplicate(env *msg.Envelope, body *msg.CtrlReplicate) {
 	}
 	s.mu.Unlock()
 	s.caller.Reply(env, &msg.CtrlReplicateAck{OK: true})
+}
+
+// handleCtrlLockSync finishes a type-1 control transaction from the
+// recovered site's side: adopt its lock word for every item where its
+// copy is strictly ahead of ours. Those are exactly the items whose
+// staleness only the sender knew about — writes it committed while it
+// believed the rest of the system down marked the other copies stale in
+// its table alone, and its recovery must not erase that record. The
+// version gate keeps the merge from resurrecting bits that were
+// legitimately cleared while the sender was down: for those items the
+// sender is not ahead, so its word is ignored. Versions and lock words
+// are read and merged under the site lock, atomically with commit-time
+// maintenance.
+func (s *Site) handleCtrlLockSync(env *msg.Envelope, body *msg.CtrlLockSync) {
+	start := time.Now()
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	// A length mismatch means a mis-sized peer: drop the merge.
+	_ = s.flocks.MergeAhead(body.FailLocks, body.Versions, s.versionVector())
+	s.mu.Unlock()
+	s.caller.Reply(env, &msg.CtrlLockSyncAck{})
+	s.emit(env.Trace, trace.PhaseCtrl1, "lock-sync", start)
 }
 
 // handleReadReq serves a remote read: version voting for the quorum

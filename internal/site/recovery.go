@@ -1,6 +1,8 @@
 package site
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"minraid/internal/core"
@@ -38,6 +40,27 @@ func (s *Site) failNow() {
 	s.caller.CancelAll()
 }
 
+// versionVector reads the per-item copy versions from the local store —
+// the evidence backing a fail-lock exchange: commit-time maintenance
+// rewrites an item's lock word together with its copy, so per item the
+// side holding the newer copy holds the authoritative word.
+func (s *Site) versionVector() []uint64 {
+	out := make([]uint64, s.cfg.Items)
+	if s.cfg.Items == 0 {
+		return out
+	}
+	dump, err := s.store.Dump(0, core.ItemID(s.cfg.Items-1))
+	if err != nil {
+		return out
+	}
+	for _, iv := range dump {
+		if int(iv.Item) < len(out) {
+			out[iv.Item] = uint64(iv.Version)
+		}
+	}
+	return out
+}
+
 // recoverSite runs the recovery procedure: bump the session number, run a
 // type-1 control transaction (announce the new session to every site,
 // install the session vector and fail-locks returned by an operational
@@ -60,6 +83,15 @@ func (s *Site) recoverSite(tr uint64) bool {
 	s.session++
 	session := s.session
 	s.stats.ControlType1++
+	// The table survived the failure (a failed site keeps its database,
+	// §1.2) and may hold the only record of staleness elsewhere: writes
+	// this site committed while it believed the others down marked their
+	// copies stale in this table alone. Snapshot it with the copy
+	// versions backing it; the merge below keeps its words for items
+	// where this site is provably ahead, and the lock-sync fan-out at
+	// the end re-publishes them.
+	ownLocks := s.flocks.Snapshot()
+	ownVers := s.versionVector()
 	// The announcement goes to every other site; sites that are down
 	// simply never answer. (A stale vector cannot be trusted to say who
 	// is operational — that is what the announcement finds out.)
@@ -92,7 +124,24 @@ func (s *Site) recoverSite(tr uint64) bool {
 		s.mu.Unlock()
 		return false
 	}
+	// "obtains a copy of the session vector and fail-locks from an
+	// operational site for the recovering site" (§1.1) — but merged
+	// per item over the surviving local table and over every donor, not
+	// installed from whichever ack happened to arrive first: donors'
+	// tables can diverge after false suspicions, and replacing the whole
+	// table would erase any staleness only a subset of them (or only
+	// this site, pre-failure) knew about. Per item the newest copy
+	// version carries the authoritative lock word; on a version tie a
+	// donor's current word beats this site's pre-failure word (which may
+	// hold bits cleared while this site was down), and tied donors are
+	// OR-ed (their divergence is transient; keeping a bit is the safe
+	// direction).
 	installed := false
+	words := make([]uint64, len(ownLocks))
+	vers := make([]uint64, len(ownVers))
+	copy(words, ownLocks)
+	copy(vers, ownVers)
+	fromDonor := make([]bool, len(words))
 	for _, id := range targets {
 		reply, ok := replies[id]
 		if !ok {
@@ -108,14 +157,40 @@ func (s *Site) recoverSite(tr uint64) bool {
 		if !ack.OK {
 			continue
 		}
-		if !installed {
-			// "obtains a copy of the session vector and fail-locks from
-			// an operational site for the recovering site" (§1.1).
-			if err := s.flocks.Install(ack.FailLocks); err == nil {
-				installed = true
+		if len(ack.FailLocks) != len(words) || len(ack.Versions) != len(words) {
+			delete(replies, id)
+			continue
+		}
+		for i := range words {
+			switch {
+			case ack.Versions[i] > vers[i]:
+				words[i], vers[i] = ack.FailLocks[i], ack.Versions[i]
+				fromDonor[i] = true
+			case ack.Versions[i] == vers[i] && fromDonor[i]:
+				words[i] |= ack.FailLocks[i]
+			case ack.Versions[i] == vers[i]:
+				words[i] = ack.FailLocks[i]
+				fromDonor[i] = true
 			}
 		}
+		installed = true
 		s.vec.Merge(core.VectorFromRecords(ack.Vector))
+	}
+	if installed {
+		if err := s.flocks.Install(words); err != nil {
+			installed = false
+		}
+	}
+	// Items whose word survived every donor (no donor copy at or above
+	// this site's version): staleness only this site knows about, which
+	// the survivors must be told — their tables have no bit for copies
+	// this site outran while writing alone.
+	needSync := false
+	for i := range words {
+		if !fromDonor[i] && words[i] != 0 {
+			needSync = true
+			break
+		}
 	}
 	if !installed {
 		// Recovery blocked: without fail-locks from an operational site
@@ -125,26 +200,91 @@ func (s *Site) recoverSite(tr uint64) bool {
 		s.mu.Unlock()
 		return false
 	}
-	// Sites that did not answer the announcement are down.
+	// Sites that did not answer the announcement are down. Collect them
+	// for a type-2 announcement once this site is operational: marking
+	// them down only locally would leave the survivors' nominal vectors
+	// divergent (they still carry the silent sites as up) until their own
+	// ack-timeout detection fires on some later transaction.
+	var silent []core.SiteID
 	for _, id := range targets {
 		if _, ok := replies[id]; !ok && s.vec.IsUp(id) {
-			s.vec.MarkDown(id)
+			silent = append(silent, id)
 		}
 	}
 	s.vec.MarkUp(s.cfg.ID, session)
 	s.state = core.StatusUp
-	armBatch := s.cfg.BatchCopierThreshold > 0
+	instant := s.cfg.InstantRecovery
+	armBatch := !instant && s.cfg.BatchCopierThreshold > 0
 	if armBatch {
 		s.batchArmed = true
 	}
+	stale := len(s.flocks.ItemsLockedFor(s.cfg.ID))
 	s.mu.Unlock()
 	s.reg.Observe(TimerCtrl1Recovering, time.Since(start))
-	s.emit(tr, trace.PhaseCtrl1, "recovering", start)
+	kind := "recovering"
+	if instant {
+		// REDO-only instant recovery: the site is already serving — clean
+		// items locally, fail-locked items via demand copiers — and the
+		// stale set just measured is the backlog the background scrubber
+		// will heal.
+		kind = "recovering-instant"
+		s.reg.Add(CounterRecoveryStale, uint64(stale))
+	}
+	s.emit(tr, trace.PhaseCtrl1, kind, start)
 
+	// announceFailure marks the silent sites down locally and tells every
+	// survivor, so nominal vectors converge on the recovery's evidence
+	// instead of waiting for each survivor's own timeout.
+	if len(silent) > 0 {
+		s.announceFailure(silent, tr)
+	}
+	if needSync {
+		s.fanoutLockSync(words, vers, tr)
+	}
 	if armBatch {
 		s.maybeBatchRefresh(tr)
 	}
 	return true
+}
+
+// fanoutLockSync publishes the recovered site's post-merge fail-lock table
+// to every operational site. Needed when the merge kept words no donor
+// could vouch for — staleness recorded while this site committed writes
+// alone — since the survivors' tables carry no bit for those copies and
+// replacing this site's table on its next recovery would erase the record
+// for good. Receivers adopt a word only where the shipped copy version is
+// strictly ahead of their own, so legitimately cleared bits never travel
+// backwards. Survivors that do not answer are announced failed, exactly as
+// for a lost clear fan-out: an unreachable table would otherwise silently
+// miss the staleness record.
+func (s *Site) fanoutLockSync(words, vers []uint64, tr uint64) {
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		return
+	}
+	targets := s.vec.Operational(s.cfg.ID)
+	s.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	start := time.Now()
+	results := s.caller.MulticastT(tr, transport.Outcalls(targets, func(core.SiteID) msg.Body {
+		return &msg.CtrlLockSync{Site: s.cfg.ID, FailLocks: words, Versions: vers}
+	}))
+	var lost []core.SiteID
+	for _, r := range results {
+		if errors.Is(r.Err, transport.ErrCancelled) {
+			return // this site failed mid-fan-out: die silently
+		}
+		if r.Err != nil {
+			lost = append(lost, r.To)
+		}
+	}
+	s.emit(tr, trace.PhaseCtrl1, "lock-sync", start)
+	if len(lost) > 0 {
+		s.announceFailure(lost, tr)
+	}
 }
 
 // announceFailure runs a type-2 control transaction for the given sites:
@@ -266,6 +406,13 @@ func (s *Site) maybeReplicate(tr uint64) {
 // replicated database the "back-up site" is an operational site whose own
 // copy is fail-locked; installing the fresh copy clears that fail-lock,
 // and the special clear transaction propagates the news.
+//
+// The push is chunked to Type3Batch items per CtrlReplicate, and the
+// backup site is re-chosen per chunk (rotating over every operational
+// candidate), so a large endangered set neither travels in one unbounded
+// message nor lands entirely on the one site that happened to be stale
+// for the first endangered item. A chunk whose backup fails just moves on
+// to the next chunk and candidate.
 func (s *Site) maybeReplicate0(tr uint64) {
 	s.mu.Lock()
 	if s.state != core.StatusUp {
@@ -278,22 +425,28 @@ func (s *Site) maybeReplicate0(tr uint64) {
 		return // nobody to back up onto
 	}
 	// endangered: items where this site is the sole up-to-date holder.
+	// For such an item every OTHER operational site's copy is stale, so
+	// the backup candidates — stale operational sites — are the same for
+	// every endangered item: all operational sites but this one.
 	var endangered []core.ItemVersion
-	var backup core.SiteID
-	haveBackup := false
+	var candidates []core.SiteID
+	for _, id := range ups {
+		if id != s.cfg.ID {
+			candidates = append(candidates, id)
+		}
+	}
 	for i := 0; i < s.cfg.Items; i++ {
 		item := core.ItemID(i)
 		if s.flocks.IsSet(item, s.cfg.ID) {
 			continue // our own copy is stale
 		}
 		fresh := 0
-		var staleUp core.SiteID
 		staleUpFound := false
 		for _, id := range ups {
 			if !s.flocks.IsSet(item, id) {
 				fresh++
 			} else if id != s.cfg.ID {
-				staleUp, staleUpFound = id, true
+				staleUpFound = true
 			}
 		}
 		if fresh == 1 && staleUpFound {
@@ -302,44 +455,69 @@ func (s *Site) maybeReplicate0(tr uint64) {
 				continue
 			}
 			endangered = append(endangered, iv)
-			if !haveBackup {
-				backup, haveBackup = staleUp, true
-			}
 		}
 	}
 	s.mu.Unlock()
-	if len(endangered) == 0 || !haveBackup {
+	if len(endangered) == 0 || len(candidates) == 0 {
 		return
 	}
 
 	start := time.Now()
-	reply, err := s.caller.CallT(tr, backup, &msg.CtrlReplicate{Items: endangered})
-	if err != nil {
-		return
-	}
-	ack, wellTyped := reply.Body.(*msg.CtrlReplicateAck)
-	if !wellTyped || !ack.OK {
-		return
-	}
-	s.mu.Lock()
-	s.stats.ControlType3++
-	items := make([]core.ItemID, 0, len(endangered))
-	for _, iv := range endangered {
-		if s.flocks.IsSet(iv.Item, backup) {
-			s.flocks.Clear(iv.Item, backup)
-			s.stats.FailLocksCleared++
+	batch := s.cfg.Type3Batch
+	var lostAll []core.SiteID
+	lostSeen := make(map[core.SiteID]bool)
+	chunks := 0
+	for lo := 0; lo < len(endangered); lo += batch {
+		hi := lo + batch
+		if hi > len(endangered) {
+			hi = len(endangered)
 		}
-		items = append(items, iv.Item)
+		chunk := endangered[lo:hi]
+		backup := candidates[chunks%len(candidates)]
+		chunks++
+		s.mu.Lock()
+		alive := s.vec.IsUp(backup)
+		s.mu.Unlock()
+		if !alive {
+			continue // failed since the scan; next chunk rotates onward
+		}
+		reply, err := s.caller.CallT(tr, backup, &msg.CtrlReplicate{Items: chunk})
+		if err != nil {
+			continue
+		}
+		ack, wellTyped := reply.Body.(*msg.CtrlReplicateAck)
+		if !wellTyped || !ack.OK {
+			continue
+		}
+		s.mu.Lock()
+		s.stats.ControlType3++
+		items := make([]core.ItemID, 0, len(chunk))
+		for _, iv := range chunk {
+			if s.flocks.IsSet(iv.Item, backup) {
+				s.flocks.Clear(iv.Item, backup)
+				s.stats.FailLocksCleared++
+			}
+			items = append(items, iv.Item)
+		}
+		targets := s.vec.Operational(s.cfg.ID, backup)
+		s.mu.Unlock()
+		// Propagate the backup site's refreshed status. Targets whose ack
+		// never arrives are announced like any other clear fan-out loss —
+		// their tables would otherwise keep stale bits for the backup site.
+		lost, cancelled := s.fanoutClears(targets, &msg.ClearFailLocks{Site: backup, Items: items}, tr)
+		if cancelled {
+			return // local failure mid-push: stop silently
+		}
+		for _, id := range lost {
+			if !lostSeen[id] {
+				lostSeen[id] = true
+				lostAll = append(lostAll, id)
+			}
+		}
 	}
-	targets := s.vec.Operational(s.cfg.ID, backup)
-	s.mu.Unlock()
-	// Propagate the backup site's refreshed status. Targets whose ack
-	// never arrives are announced like any other clear fan-out loss —
-	// their tables would otherwise keep stale bits for the backup site.
-	lost, cancelled := s.fanoutClears(targets, &msg.ClearFailLocks{Site: backup, Items: items}, tr)
 	s.reg.Observe(TimerCtrl3, time.Since(start))
-	s.emit(tr, trace.PhaseCtrl3, "backup", start)
-	if !cancelled && len(lost) > 0 {
-		s.announceFailure(lost, tr)
+	s.emit(tr, trace.PhaseCtrl3, fmt.Sprintf("backup chunks=%d", chunks), start)
+	if len(lostAll) > 0 {
+		s.announceFailure(lostAll, tr)
 	}
 }

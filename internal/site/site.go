@@ -88,6 +88,15 @@ const (
 	// CounterBatchCopiers counts copier transactions issued by batch
 	// refresh (step two of two-step recovery).
 	CounterBatchCopiers = "copiers.batch"
+	// CounterDemandCopiers counts copier transactions issued on the
+	// demand path — a database transaction reading a fail-locked local
+	// copy (Appendix A.1). With the background scrubber running, demand
+	// copiers cover only the reads that outrun it.
+	CounterDemandCopiers = "copiers.demand"
+	// CounterRecoveryStale counts the items fail-locked for this site at
+	// the moment instant recovery completed — the stale set handed to the
+	// background scrubber instead of the threshold/batch two-step.
+	CounterRecoveryStale = "recovery.stale"
 )
 
 // Config parameterizes a site.
@@ -115,11 +124,26 @@ type Config struct {
 	// drops to or below the threshold, the site refreshes the remainder
 	// in batch via copier transactions (§3.2). Zero disables batching.
 	BatchCopierThreshold float64
+	// InstantRecovery selects REDO-only recovery: the site is operational
+	// the moment the type-1 announcement installs its fail-lock set — it
+	// serves reads of clean items immediately, answers reads of
+	// fail-locked items through the demand-copier path, and leaves the
+	// remaining stale set to the background scrubber (internal/scrub)
+	// rather than arming the threshold/batch two-step. Mutually exclusive
+	// with BatchCopierThreshold: the two-step machinery is exactly what
+	// this mode replaces.
+	InstantRecovery bool
 	// EnableType3 enables the paper's proposed type-3 control
 	// transaction: when this site holds the last up-to-date copy of an
 	// item among operational sites, it pushes a backup copy to another
 	// operational site (§3.2).
 	EnableType3 bool
+	// Type3Batch bounds the number of items one type-3 replication push
+	// (CtrlReplicate) carries. A larger endangered set is split into
+	// chunks with the backup site re-chosen per chunk, so one slow or
+	// failing site never absorbs the whole payload in one unbounded
+	// message. Zero defaults to 16.
+	Type3Batch int
 	// Metrics receives timing observations; nil allocates a private
 	// registry.
 	Metrics *metrics.Registry
@@ -196,6 +220,15 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.BatchCopierThreshold < 0 || c.BatchCopierThreshold > 1 {
 		return fmt.Errorf("site: batch copier threshold %v out of [0,1]", c.BatchCopierThreshold)
+	}
+	if c.InstantRecovery && c.BatchCopierThreshold > 0 {
+		return fmt.Errorf("site: instant recovery and two-step recovery (batch copier threshold %v) are mutually exclusive", c.BatchCopierThreshold)
+	}
+	if c.Type3Batch < 0 {
+		return fmt.Errorf("site: type-3 batch size %d out of range", c.Type3Batch)
+	}
+	if c.Type3Batch == 0 {
+		c.Type3Batch = 16
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()

@@ -42,6 +42,7 @@ const (
 	PhaseCtrl2     = "ctrl2"       // type-2 control (failure announcement)
 	PhaseCtrl3     = "ctrl3"       // type-3 control (re-replication)
 	PhaseRead      = "read"        // remote read served
+	PhaseScrub     = "scrub"       // background scrubber pass
 )
 
 // Event is one structured trace record.

@@ -90,13 +90,21 @@ func (c *Caller) Call(to core.SiteID, body msg.Body) (*msg.Envelope, error) {
 
 // CallT is Call with a trace ID stamped on the request envelope.
 func (c *Caller) CallT(trace uint64, to core.SiteID, body msg.Body) (*msg.Envelope, error) {
+	return c.CallTimeoutT(trace, to, body, c.timeout)
+}
+
+// CallTimeoutT is CallT with an explicit reply deadline overriding the
+// caller's configured timeout for this one call. Background work (the
+// scrubber's repair batches) uses it so a call racing a site failure
+// costs a bounded wait instead of the full configured timeout.
+func (c *Caller) CallTimeoutT(trace uint64, to core.SiteID, body msg.Body, timeout time.Duration) (*msg.Envelope, error) {
 	seq, ch := c.register()
 	defer c.unregister(seq)
 	c.sent.Add(1)
 	if err := c.ep.Send(&msg.Envelope{To: to, Seq: seq, Trace: trace, Body: body}); err != nil {
 		return nil, err
 	}
-	timer := time.NewTimer(c.timeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	d, err := c.await(ch, timer)
 	return d.env, err
