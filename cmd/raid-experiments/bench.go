@@ -30,6 +30,7 @@ func runBench(args []string) {
 		sites    = fs.Int("sites", 4, "database sites")
 		items    = fs.Int("items", 64, "database items")
 		conc     = fs.Int("conc", 8, "concurrent pass: per-site transaction degree and in-flight bound")
+		degree   = fs.Int("degree", 0, "copies per item, placed round-robin (0 or >= -sites: full replication; partial replication forces both passes serial)")
 		rate     = fs.Float64("rate", 0, "open-loop arrival rate in txn/s for the concurrent pass (0: unpaced peak-throughput comparison)")
 		delay    = fs.Duration("delay", 500*time.Microsecond, "per-hop communication cost")
 		seed     = fs.Int64("seed", 1987, "workload RNG seed")
@@ -44,6 +45,7 @@ func runBench(args []string) {
 		Base: experiment.Config{
 			Sites: *sites, Items: *items,
 			Delay: *delay, Seed: *seed,
+			ReplicationDegree: *degree,
 		},
 		Txns:        *txns,
 		Concurrency: *conc,

@@ -39,6 +39,7 @@ func runSoak(args []string) {
 		txns       = fs.Int("txns", 40, "transactions per epoch")
 		sites      = fs.Int("sites", 4, "database sites")
 		items      = fs.Int("items", 30, "database items")
+		degree     = fs.Int("degree", 0, "copies per item, placed round-robin (0 or >= -sites: full replication; partial replication runs serially and needs -policy rowaa or quorum)")
 		drop       = fs.Float64("drop", 0.02, "per-message drop probability on site-to-site links")
 		dup        = fs.Float64("dup", 0.02, "per-message duplication probability")
 		jitter     = fs.Duration("jitter", 5*time.Millisecond, "max injected per-message latency (keep well below -ack)")
@@ -66,11 +67,12 @@ func runSoak(args []string) {
 	}
 	cfg := experiment.SoakConfig{
 		Base: experiment.Config{
-			Sites:      *sites,
-			Items:      *items,
-			Delay:      *delay,
-			AckTimeout: *ack,
-			Policy:     pol,
+			Sites:             *sites,
+			Items:             *items,
+			Delay:             *delay,
+			AckTimeout:        *ack,
+			Policy:            pol,
+			ReplicationDegree: *degree,
 		},
 		Seeds:         parseSeeds(*seeds),
 		EpochsPerSeed: *epochs,
@@ -100,6 +102,9 @@ func runSoak(args []string) {
 	}
 	if *scrubOn {
 		mode += ", scrub on"
+	}
+	if *degree > 0 && *degree < *sites {
+		mode += fmt.Sprintf(", degree %d of %d", *degree, *sites)
 	}
 	header(fmt.Sprintf("Chaos soak: %d seed(s) x %d epoch(s) x %d txns (policy=%s transport=%s drop=%v dup=%v jitter=%v%s)",
 		len(cfg.Seeds), cfg.EpochsPerSeed, cfg.TxnsPerEpoch, *policyName, *trans, *drop, *dup, *jitter, mode))

@@ -51,12 +51,11 @@ type Prober interface {
 	Dump(id core.SiteID) ([]core.ItemVersion, error)
 }
 
-// Replicas implements Prober.
+// Replicas implements Prober. It returns the managing site's current
+// view of the placement — cfg.Replicas as configured, updated when
+// Rebalance re-homes a lost site's copies.
 func (c *Cluster) Replicas() *core.ReplicaMap {
-	if c.cfg.Replicas != nil {
-		return c.cfg.Replicas
-	}
-	return core.FullReplication(c.cfg.Items, c.cfg.Sites)
+	return c.replicas.Load()
 }
 
 // Audit verifies the system's core invariant: every pair of copies of an
@@ -70,9 +69,11 @@ func (c *Cluster) Replicas() *core.ReplicaMap {
 func (c *Cluster) Audit() (AuditReport, error) { return Audit(c) }
 
 // AuditQuorum verifies the quorum-consensus invariant: for every item,
-// at least sites−readQuorum+1 operational copies hold the latest
-// committed version, so any read quorum intersects the fresh copies —
-// divergence is impossible by construction, no fail-locks involved. Two
+// at least degree−readQuorum(degree)+1 of its hosting copies hold the
+// latest committed version, so any read quorum over the item's copies
+// intersects the fresh ones — divergence is impossible by construction,
+// no fail-locks involved. Quorums are sized per item from its hosting
+// degree, so the audit is exact under partial replication too. Two
 // copies at the same version with different values is the hard
 // violation: committed divergence, which quorum writes can never
 // produce. Run it fully healed with every site up; quorum holds its
@@ -82,13 +83,16 @@ func (c *Cluster) AuditQuorum() (AuditReport, error) {
 	if c.cfg.Policy == nil {
 		return AuditReport{}, fmt.Errorf("cluster: quorum audit needs a quorum policy")
 	}
-	return AuditQuorum(c, c.cfg.Policy.ReadQuorum(c.cfg.Sites))
+	return AuditQuorum(c, c.cfg.Policy.ReadQuorum)
 }
 
 // AuditQuorum runs the quorum-visibility audit through any Prober.
-func AuditQuorum(p Prober, readQuorum int) (AuditReport, error) {
+// readQuorum maps an item's copy count to its read-quorum size (the
+// policy's ReadQuorum method).
+func AuditQuorum(p Prober, readQuorum func(copies int) int) (AuditReport, error) {
 	var report AuditReport
 	sites, items := p.Sites(), p.Items()
+	replicas := p.Replicas()
 	dumps := make([][]core.ItemVersion, sites)
 	for i := 0; i < sites; i++ {
 		id := core.SiteID(i)
@@ -103,16 +107,21 @@ func AuditQuorum(p Prober, readQuorum int) (AuditReport, error) {
 		if err != nil {
 			return report, err
 		}
-		if len(dump) != items {
-			return report, fmt.Errorf("cluster: %s returned %d copies for %d items", id, len(dump), items)
+		dumps[i], err = sparseDump(dump, replicas, id, items)
+		if err != nil {
+			return report, err
 		}
-		dumps[i] = dump
 	}
-	need := sites - readQuorum + 1
 	for item := 0; item < items; item++ {
 		report.ItemsChecked++
+		hostMask := replicas.HostMask(core.ItemID(item))
+		degree := replicas.Degree(core.ItemID(item))
+		need := degree - readQuorum(degree) + 1
 		var fresh core.ItemVersion
 		for i := 0; i < sites; i++ {
+			if hostMask&(1<<i) == 0 {
+				continue
+			}
 			report.CopiesCompared++
 			if iv := dumps[i][item]; iv.Version > fresh.Version {
 				fresh = iv
@@ -120,6 +129,9 @@ func AuditQuorum(p Prober, readQuorum int) (AuditReport, error) {
 		}
 		atFresh := 0
 		for i := 0; i < sites; i++ {
+			if hostMask&(1<<i) == 0 {
+				continue
+			}
 			iv := dumps[i][item]
 			if iv.Version != fresh.Version {
 				report.StaleCopies++
@@ -135,20 +147,49 @@ func AuditQuorum(p Prober, readQuorum int) (AuditReport, error) {
 		}
 		if fresh.Version != 0 && atFresh < need {
 			report.Violations = append(report.Violations, fmt.Sprintf(
-				"item %d: only %d copies at fresh version %d, read quorum %d needs %d",
-				item, atFresh, fresh.Version, readQuorum, need))
+				"item %d: only %d of %d copies at fresh version %d, read quorum %d needs %d",
+				item, atFresh, degree, fresh.Version, readQuorum(degree), need))
 		}
 	}
 	return report, nil
+}
+
+// sparseDump validates a site's dump against the replica placement and
+// spreads it into an items-length array indexed by ItemID. A hosted-only
+// dump carries exactly the site's hosted copies (the sparse audit wire
+// format); a full-replication dump carries one copy per item. Entries
+// for items the site does not host stay zero and must never be compared.
+func sparseDump(dump []core.ItemVersion, replicas *core.ReplicaMap, id core.SiteID, items int) ([]core.ItemVersion, error) {
+	want := items
+	if !replicas.IsFull() {
+		want = replicas.HostedCount(id)
+	}
+	if len(dump) != want {
+		return nil, fmt.Errorf("cluster: %s returned %d copies, want %d", id, len(dump), want)
+	}
+	out := make([]core.ItemVersion, items)
+	for _, iv := range dump {
+		if int(iv.Item) >= items {
+			return nil, fmt.Errorf("cluster: %s dumped out-of-range item %d", id, iv.Item)
+		}
+		if !replicas.IsHost(iv.Item, id) {
+			return nil, fmt.Errorf("cluster: %s dumped item %d it does not host", id, iv.Item)
+		}
+		out[iv.Item] = iv
+	}
+	return out, nil
 }
 
 // Audit runs the consistency audit through any Prober.
 func Audit(p Prober) (AuditReport, error) {
 	var report AuditReport
 	sites, items := p.Sites(), p.Items()
+	replicas := p.Replicas()
 
 	// Find the operational sites and a reference fail-lock table. Tables
-	// at operational sites are compared too: they must agree.
+	// at operational sites are compared too: they must agree. Dumps are
+	// hosted-only under partial replication (see sparseDump); fail-lock
+	// tables are fully replicated regardless of placement.
 	type siteView struct {
 		id    core.SiteID
 		dump  []core.ItemVersion
@@ -168,10 +209,14 @@ func Audit(p Prober) (AuditReport, error) {
 		if err != nil {
 			return report, err
 		}
-		if len(dump) != items || len(st.FailLocks) != items {
-			return report, fmt.Errorf("cluster: %s returned %d copies and %d lock words for %d items", id, len(dump), len(st.FailLocks), items)
+		if len(st.FailLocks) != items {
+			return report, fmt.Errorf("cluster: %s returned %d lock words for %d items", id, len(st.FailLocks), items)
 		}
-		views = append(views, siteView{id: id, dump: dump, locks: st.FailLocks})
+		sparse, err := sparseDump(dump, replicas, id, items)
+		if err != nil {
+			return report, err
+		}
+		views = append(views, siteView{id: id, dump: sparse, locks: st.FailLocks})
 	}
 	if len(views) == 0 {
 		return report, fmt.Errorf("cluster: no operational site to audit")
@@ -189,7 +234,6 @@ func Audit(p Prober) (AuditReport, error) {
 		}
 	}
 
-	replicas := p.Replicas()
 	for item := 0; item < items; item++ {
 		report.ItemsChecked++
 		hostMask := replicas.HostMask(core.ItemID(item))

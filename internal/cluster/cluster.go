@@ -113,6 +113,14 @@ type Cluster struct {
 	nextTxn   atomic.Uint64
 	nextAdmin atomic.Uint64
 
+	// replicas is the managing site's view of the current placement. It
+	// starts as cfg.Replicas (nil: full replication) and is replaced,
+	// copy-on-write, when Rebalance re-homes a permanently lost site's
+	// copies. removed is the bitmask of sites Rebalance retired; they can
+	// never recover (their copies now live elsewhere).
+	replicas atomic.Pointer[core.ReplicaMap]
+	removed  atomic.Uint64
+
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
@@ -132,6 +140,11 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Tracer = trace.NewRecorder(0)
 	}
 	c := &Cluster{cfg: cfg, tracer: cfg.Tracer}
+	if cfg.Replicas != nil {
+		c.replicas.Store(cfg.Replicas)
+	} else {
+		c.replicas.Store(core.FullReplication(cfg.Items, cfg.Sites))
+	}
 	switch cfg.Transport {
 	case "", "memory":
 		net := transport.NewMemory(transport.MemoryConfig{Sites: cfg.Sites, Delay: cfg.Delay})
@@ -330,6 +343,9 @@ var (
 	// ErrRecoveryBlocked means recovery failed because no operational
 	// site could supply the session vector and fail-locks.
 	ErrRecoveryBlocked = errors.New("cluster: recovery blocked: no operational donor")
+	// ErrSiteRemoved means the site was permanently retired by Rebalance
+	// and can never rejoin: its copies have been re-homed.
+	ErrSiteRemoved = errors.New("cluster: site permanently removed by rebalance")
 )
 
 // Exec sends one database transaction to the given coordinator and waits
@@ -376,8 +392,13 @@ func (c *Cluster) Fail(id core.SiteID) error {
 // Recover orders a failed site to recover and waits until recovery
 // completes (the site replies with its status once the type-1 control
 // transaction has finished). ErrRecoveryBlocked is returned when no
-// operational site could act as donor.
+// operational site could act as donor. A site retired by Rebalance is
+// permanently removed — its copies live elsewhere now — and is refused
+// with ErrSiteRemoved.
 func (c *Cluster) Recover(id core.SiteID) (*msg.StatusResp, error) {
+	if c.removed.Load()&(1<<id) != 0 {
+		return nil, fmt.Errorf("%w: %s", ErrSiteRemoved, id)
+	}
 	reply, err := c.caller.CallT(c.adminTrace(), id, &msg.RecoverSim{})
 	if err != nil {
 		return nil, fmt.Errorf("%w: recovering %s: %v", ErrNoResponse, id, err)
@@ -406,9 +427,12 @@ func (c *Cluster) Status(id core.SiteID, includeFailLocks bool) (*msg.StatusResp
 	return st, nil
 }
 
-// Dump returns a site's full versioned database copy.
+// Dump returns a site's versioned database copy: every item under full
+// replication, only the hosted items under a partial map (the audits
+// reconstruct placement-aware views from the sparse dump, keeping audit
+// payloads O(items×degree) instead of O(items×sites)).
 func (c *Cluster) Dump(id core.SiteID) ([]core.ItemVersion, error) {
-	reply, err := c.caller.Call(id, &msg.DumpReq{First: 0, Last: core.ItemID(c.cfg.Items - 1)})
+	reply, err := c.caller.Call(id, &msg.DumpReq{First: 0, Last: core.ItemID(c.cfg.Items - 1), HostedOnly: true})
 	if err != nil {
 		return nil, fmt.Errorf("%w: dump of %s: %v", ErrNoResponse, id, err)
 	}

@@ -770,13 +770,76 @@ func TestPartialReplicationWriteUnavailable(t *testing.T) {
 	}
 }
 
-func TestPartialReplicationRequiresROWAA(t *testing.T) {
+func TestPartialReplicationRequiresCopyAwarePolicy(t *testing.T) {
+	// ROWA has no notion of per-item copies — write-all over a partial
+	// map would silently become write-all-hosts. Reject it.
 	_, err := New(Config{
-		Sites: 3, Items: 3, Policy: policy.Quorum{},
+		Sites: 3, Items: 3, Policy: policy.ROWA{},
 		Replicas: core.RoundRobinReplication(3, 3, 2),
 	})
 	if err == nil {
-		t.Error("quorum with partial replication accepted")
+		t.Error("rowa with partial replication accepted")
+	}
+	// Quorum is copy-aware: quorums are sized per item from its hosting
+	// degree, so a partial map is accepted.
+	c, err := New(Config{
+		Sites: 3, Items: 3, Policy: policy.Quorum{},
+		Replicas: core.RoundRobinReplication(3, 3, 2),
+	})
+	if err != nil {
+		t.Fatalf("quorum with partial replication rejected: %v", err)
+	}
+	c.Close()
+}
+
+func TestPartialQuorumReadsAndWrites(t *testing.T) {
+	// Degree 2 of 4: a write needs both copies (majority of 2 is 2), a
+	// read needs 1 (degree - write quorum + 1), and only hosting sites'
+	// copies vote.
+	c := newTestCluster(t, Config{
+		Sites: 4, Items: 8, Policy: policy.Quorum{},
+		Replicas: core.RoundRobinReplication(8, 4, 2),
+	})
+	// Item 0 hosted by {0,1}; write from a non-hosting coordinator.
+	res, err := c.Exec(2, []core.Op{core.Write(0, []byte("q1"))})
+	if err != nil || !res.Committed {
+		t.Fatalf("write: %v %v", res, err)
+	}
+	// Read from every site: the quorum read must find the copy.
+	for s := 0; s < 4; s++ {
+		res, err := c.Exec(core.SiteID(s), []core.Op{core.Read(0)})
+		if err != nil || !res.Committed {
+			t.Fatalf("read via %d: %v %v", s, res, err)
+		}
+		if !bytes.Equal(res.Reads[0].Value, []byte("q1")) {
+			t.Errorf("read via %d = %q", s, res.Reads[0].Value)
+		}
+	}
+	// With one of item 0's two hosts down, the write quorum (2 of 2) is
+	// unreachable even though 3 of 4 sites are up.
+	failAndDetect(t, c, 0, 1)
+	res, err = c.Exec(1, []core.Op{core.Write(0, []byte("q2"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Error("write committed without a per-item majority of copies")
+	}
+	// Items fully hosted on live sites keep working.
+	res, err = c.Exec(1, []core.Op{core.Write(2, []byte("ok"))})
+	if err != nil || !res.Committed {
+		t.Fatalf("unrelated item blocked: %v %v", res, err)
+	}
+	// The quorum audit needs every site up (a down site hides copies).
+	if _, err := c.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.AuditQuorum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Error(report)
 	}
 }
 

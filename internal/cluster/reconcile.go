@@ -84,6 +84,7 @@ func (c *Cluster) ReconcileSplitBrain(trueUp []bool, ackTimeout time.Duration) (
 	var rep ReconcileReport
 	sites, items := c.cfg.Sites, c.cfg.Items
 
+	replicas := c.Replicas()
 	type view struct {
 		id   core.SiteID
 		st   *msg.StatusResp
@@ -111,10 +112,16 @@ func (c *Cluster) ReconcileSplitBrain(trueUp []bool, ackTimeout time.Duration) (
 		if err != nil {
 			return rep, err
 		}
-		if len(dump) != items || len(st.FailLocks) != items {
-			return rep, fmt.Errorf("cluster: reconcile: %s returned %d copies, %d lock words for %d items", id, len(dump), len(st.FailLocks), items)
+		if len(st.FailLocks) != items {
+			return rep, fmt.Errorf("cluster: reconcile: %s returned %d lock words for %d items", id, len(st.FailLocks), items)
 		}
-		views = append(views, view{id: id, st: st, dump: dump})
+		// Dumps are hosted-only under partial replication; spread each one
+		// into an items-length view (step 2 only reads hosting entries).
+		sparse, err := sparseDump(dump, replicas, id, items)
+		if err != nil {
+			return rep, fmt.Errorf("cluster: reconcile: %v", err)
+		}
+		views = append(views, view{id: id, st: st, dump: sparse})
 	}
 	if len(views) == 0 {
 		return rep, fmt.Errorf("cluster: reconcile: no operational site")
@@ -137,7 +144,6 @@ func (c *Cluster) ReconcileSplitBrain(trueUp []bool, ackTimeout time.Duration) (
 	}
 
 	// Step 2: reconciled fail-lock table, highest version wins.
-	replicas := c.Replicas()
 	target := make([]uint64, items)
 	for item := 0; item < items; item++ {
 		hostMask := replicas.HostMask(core.ItemID(item))
@@ -354,7 +360,10 @@ func (c *Cluster) FailLocksRemaining(trueUp []bool) (int, error) {
 }
 
 // lockedItems lists the items fail-locked for id, as tracked by id's own
-// table.
+// table, restricted to the items id hosts — a copy the site does not
+// hold cannot be refreshed by reading there (the demand-copier path only
+// covers hosted items), and a bit for a non-hosted copy is an audit
+// violation, not drainable work.
 func (c *Cluster) lockedItems(id core.SiteID) ([]core.ItemID, error) {
 	st, err := c.Status(id, true)
 	if err != nil {
@@ -363,9 +372,10 @@ func (c *Cluster) lockedItems(id core.SiteID) ([]core.ItemID, error) {
 	if st.State != core.StatusUp {
 		return nil, nil
 	}
+	replicas := c.Replicas()
 	var out []core.ItemID
 	for item, bits := range st.FailLocks {
-		if bits&(1<<id) != 0 {
+		if bits&(1<<id) != 0 && replicas.IsHost(core.ItemID(item), id) {
 			out = append(out, core.ItemID(item))
 		}
 	}

@@ -8,10 +8,10 @@ import "fmt"
 // we have a partially replicated database"); this type is the static
 // replica-placement substrate for that mode.
 //
-// A ReplicaMap is immutable after construction; dynamic replica creation
-// (the full type-3 story for partial replication) would need a replicated
-// map with its own consistency protocol and is out of scope, as it is in
-// the paper.
+// A ReplicaMap is treated as immutable once shared: readers access it
+// without locking, so placement changes (permanent-loss rebalancing)
+// must Clone the map, apply Rehost edits to the copy, and swap the new
+// map in atomically. In-place mutation of a shared map is a data race.
 type ReplicaMap struct {
 	mask  []uint64 // bit k of mask[i] set = site k hosts item i
 	sites int
@@ -98,6 +98,44 @@ func (m *ReplicaMap) Hosts(item ItemID) []SiteID {
 
 // Degree returns the number of copies of item.
 func (m *ReplicaMap) Degree(item ItemID) int { return popcount(m.HostMask(item)) }
+
+// Clone returns a deep copy of the map. Placement changes follow
+// copy-on-write: Clone, edit the copy with Rehost, swap the new map in.
+func (m *ReplicaMap) Clone() *ReplicaMap {
+	out := &ReplicaMap{mask: make([]uint64, len(m.mask)), sites: m.sites, full: m.full}
+	copy(out.mask, m.mask)
+	return out
+}
+
+// Rehost moves item's copy from one site to another: from's host bit is
+// cleared and to's set, so an item whose from-copy is being replaced
+// keeps its degree. Used by permanent-loss rebalancing to re-home a lost
+// site's copies. Panics when item or either site is out of range.
+func (m *ReplicaMap) Rehost(item ItemID, from, to SiteID) {
+	if int(from) >= m.sites || int(to) >= m.sites {
+		panic(fmt.Sprintf("core: rehost sites %d->%d out of range for %d-site map", from, to, m.sites))
+	}
+	bits := m.HostMask(item) // panics when item is out of range
+	bits &^= 1 << from
+	bits |= 1 << to
+	m.mask[item] = bits
+	if bits != allMask(m.sites) {
+		m.full = false
+	}
+}
+
+// HostedCount returns the number of items site hosts — the expected
+// length of a hosted-only dump from that site.
+func (m *ReplicaMap) HostedCount(site SiteID) int {
+	n := 0
+	bit := uint64(1) << site
+	for _, b := range m.mask {
+		if b&bit != 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // allMask returns a bitmap with the low n bits set.
 func allMask(n int) uint64 {

@@ -60,9 +60,29 @@ func TestReplicaMapBounds(t *testing.T) {
 		"degree > sites": func() { RoundRobinReplication(4, 2, 3) },
 		"zero items":     func() { FullReplication(0, 2) },
 		"zero sites":     func() { FullReplication(4, 0) },
+		"too many sites": func() { FullReplication(4, MaxSites+1) },
+		"rr too many sites": func() {
+			RoundRobinReplication(4, MaxSites+1, MaxSites+1)
+		},
 		"item range": func() {
 			m := FullReplication(4, 2)
 			m.HostMask(9)
+		},
+		"hosts item range": func() {
+			m := FullReplication(4, 2)
+			m.Hosts(4)
+		},
+		"degree item range": func() {
+			m := FullReplication(4, 2)
+			m.Degree(100)
+		},
+		"rehost item range": func() {
+			m := RoundRobinReplication(4, 3, 2)
+			m.Rehost(7, 0, 2)
+		},
+		"rehost site range": func() {
+			m := RoundRobinReplication(4, 3, 2)
+			m.Rehost(0, 0, 3)
 		},
 	} {
 		func() {
@@ -73,6 +93,71 @@ func TestReplicaMapBounds(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestReplicaMapMaxSites(t *testing.T) {
+	// At the 64-site ceiling allMask must not overflow: every site of a
+	// full map hosts every item and the mask has all 64 bits set.
+	m := FullReplication(3, MaxSites)
+	if !m.IsFull() || m.Sites() != MaxSites {
+		t.Fatalf("dims: full=%v sites=%d", m.IsFull(), m.Sites())
+	}
+	if got := m.HostMask(0); got != ^uint64(0) {
+		t.Errorf("HostMask = %#x, want all ones", got)
+	}
+	if d := m.Degree(2); d != MaxSites {
+		t.Errorf("degree = %d, want %d", d, MaxSites)
+	}
+	if !m.IsHost(1, SiteID(MaxSites-1)) {
+		t.Error("highest site not a host")
+	}
+	// A partial map at MaxSites keeps per-item degree exact.
+	p := RoundRobinReplication(130, MaxSites, 3)
+	for i := 0; i < 130; i++ {
+		if d := p.Degree(ItemID(i)); d != 3 {
+			t.Fatalf("item %d degree = %d", i, d)
+		}
+	}
+}
+
+func TestReplicaMapCloneRehost(t *testing.T) {
+	m := RoundRobinReplication(6, 4, 2) // item 0 on sites 0,1
+	c := m.Clone()
+	c.Rehost(0, 1, 3)
+	if !c.IsHost(0, 3) || c.IsHost(0, 1) || c.Degree(0) != 2 {
+		t.Errorf("rehosted clone: hosts=%v", c.Hosts(0))
+	}
+	// The original is untouched — copy-on-write is the whole point.
+	if !m.IsHost(0, 1) || m.IsHost(0, 3) {
+		t.Errorf("original mutated: hosts=%v", m.Hosts(0))
+	}
+	// Rehosting every item of a full map off one site drops fullness.
+	f := FullReplication(2, 3)
+	fc := f.Clone()
+	if !fc.IsFull() {
+		t.Fatal("clone lost fullness")
+	}
+	fc.Rehost(0, 2, 1)
+	if fc.IsFull() {
+		t.Error("map with a missing copy still reports full")
+	}
+	if fc.Degree(0) != 2 {
+		t.Errorf("degree after rehost off full = %d", fc.Degree(0))
+	}
+}
+
+func TestHostedCount(t *testing.T) {
+	m := RoundRobinReplication(8, 4, 2)
+	for s := 0; s < 4; s++ {
+		if n := m.HostedCount(SiteID(s)); n != 4 {
+			t.Errorf("site %d hosts %d, want 4", s, n)
+		}
+	}
+	c := m.Clone()
+	c.Rehost(0, 0, 2) // item 0: sites 0,1 -> 1,2
+	if c.HostedCount(0) != 3 || c.HostedCount(2) != 5 {
+		t.Errorf("counts after rehost: %d %d", c.HostedCount(0), c.HostedCount(2))
 	}
 }
 

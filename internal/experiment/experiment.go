@@ -52,6 +52,11 @@ type Config struct {
 	BatchCopierThreshold float64
 	// EnableType3 enables type-3 control transactions.
 	EnableType3 bool
+	// ReplicationDegree places each item on this many sites, round-robin
+	// (core.RoundRobinReplication), instead of fully replicating. Zero or
+	// >= Sites keeps full replication. Partial replication requires a
+	// copy-aware policy (ROWAA or quorum) and serial execution.
+	ReplicationDegree int
 }
 
 func (c Config) withDefaults(sites, items, maxOps int) Config {
@@ -80,7 +85,7 @@ func (c Config) withDefaults(sites, items, maxOps int) Config {
 }
 
 func (c Config) clusterConfig() cluster.Config {
-	return cluster.Config{
+	ccfg := cluster.Config{
 		Sites:                c.Sites,
 		Items:                c.Items,
 		Policy:               c.Policy,
@@ -89,6 +94,10 @@ func (c Config) clusterConfig() cluster.Config {
 		BatchCopierThreshold: c.BatchCopierThreshold,
 		EnableType3:          c.EnableType3,
 	}
+	if c.ReplicationDegree > 0 && c.ReplicationDegree < c.Sites {
+		ccfg.Replicas = core.RoundRobinReplication(c.Items, c.Sites, c.ReplicationDegree)
+	}
+	return ccfg
 }
 
 // ScheduleResult is the outcome of driving one failure schedule with the

@@ -115,8 +115,11 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	}
 	if c.Concurrency == 0 {
 		// Interleaved execution is the default soak regime wherever the
-		// configuration supports it.
-		if c.Base.Policy == nil || c.Base.Policy.Name() == "rowaa" {
+		// configuration supports it. Partial replication forces serial
+		// processing: remote donor reads are not covered by distributed
+		// 2PL, so ConcurrentTxns requires full replication.
+		partial := c.Base.ReplicationDegree > 0 && c.Base.ReplicationDegree < c.Base.Sites
+		if (c.Base.Policy == nil || c.Base.Policy.Name() == "rowaa") && !partial {
 			c.Concurrency = 4
 		} else {
 			c.Concurrency = 1

@@ -68,6 +68,13 @@ func (c SoakBenchConfig) withDefaults() SoakBenchConfig {
 	if c.Concurrency == 0 {
 		c.Concurrency = 8
 	}
+	if c.Base.ReplicationDegree > 0 && c.Base.ReplicationDegree < c.Base.Sites {
+		// Partial replication runs serially (remote donor reads are not
+		// covered by distributed 2PL), so the second pass degenerates to
+		// serial-with-group-commit: the bench then isolates the fsync
+		// batching win instead of the interleaving win.
+		c.Concurrency = 1
+	}
 	if c.LockWaitBudget == 0 {
 		c.LockWaitBudget = 25 * time.Millisecond
 	}

@@ -68,6 +68,10 @@ const (
 	KindCtrlLockSync    // recovered site -> operational sites: adopt-if-ahead lock words
 	KindCtrlLockSyncAck //
 
+	// Permanent-loss rebalancing (appended).
+	KindCtrlRehost    // managing site -> sites: re-home a lost site's copies
+	KindCtrlRehostAck //
+
 	numKinds // sentinel, keep last
 )
 
@@ -101,6 +105,8 @@ var kindNames = [...]string{
 	KindShutdown:          "shutdown",
 	KindCtrlLockSync:      "ctrl-lock-sync",
 	KindCtrlLockSyncAck:   "ctrl-lock-sync-ack",
+	KindCtrlRehost:        "ctrl-rehost",
+	KindCtrlRehostAck:     "ctrl-rehost-ack",
 }
 
 // String implements fmt.Stringer.
@@ -118,8 +124,8 @@ func (k Kind) IsReply() bool {
 	switch k {
 	case KindTxnResult, KindPrepareAck, KindCommitAck, KindCopyResponse,
 		KindClearFailLocksAck, KindCtrlRecoverAck, KindCtrlFailAck,
-		KindCtrlReplicateAck, KindCtrlLockSyncAck, KindReadResp,
-		KindStatusResp, KindDumpResp:
+		KindCtrlReplicateAck, KindCtrlLockSyncAck, KindCtrlRehostAck,
+		KindReadResp, KindStatusResp, KindDumpResp:
 		return true
 	}
 	return false

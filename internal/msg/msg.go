@@ -135,6 +135,10 @@ func newBody(kind Kind) Body {
 		return &CtrlLockSync{}
 	case KindCtrlLockSyncAck:
 		return &CtrlLockSyncAck{}
+	case KindCtrlRehost:
+		return &CtrlRehost{}
+	case KindCtrlRehostAck:
+		return &CtrlRehostAck{}
 	case KindReadReq:
 		return &ReadReq{}
 	case KindReadResp:

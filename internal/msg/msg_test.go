@@ -66,7 +66,11 @@ func TestRoundTripAllKinds(t *testing.T) {
 			Stats:          SiteStats{Committed: 10, Aborted: 1, FailLocksSet: 99, MsgsIn: 7, MsgsOut: 8},
 		},
 		&DumpReq{First: 0, Last: 49},
+		&DumpReq{First: 0, Last: 49, HostedOnly: true},
 		&DumpResp{Items: []core.ItemVersion{{Item: 0, Version: 0}}},
+		&CtrlRehost{Lost: 1, Items: []core.ItemID{3, 9}, NewHosts: []core.SiteID{2, 0}},
+		&CtrlRehostAck{OK: true},
+		&CtrlRehostAck{OK: false, Reason: "not operational"},
 		&Shutdown{},
 	}
 	for i, b := range bodies {
@@ -112,7 +116,8 @@ func TestIsReplyPartition(t *testing.T) {
 		KindCopyResponse: true, KindClearFailLocksAck: true,
 		KindCtrlRecoverAck: true, KindCtrlFailAck: true,
 		KindCtrlReplicateAck: true, KindCtrlLockSyncAck: true,
-		KindReadResp: true, KindStatusResp: true, KindDumpResp: true,
+		KindCtrlRehostAck: true,
+		KindReadResp:      true, KindStatusResp: true, KindDumpResp: true,
 	}
 	for k := KindInvalid + 1; k < numKinds; k++ {
 		if got := k.IsReply(); got != replies[k] {

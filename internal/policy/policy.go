@@ -33,7 +33,11 @@ type Policy interface {
 	LocalRead() bool
 
 	// ReadQuorum returns the number of copies (including the
-	// coordinator's own) a read must observe, for an n-site system.
+	// coordinator's own, when it hosts one) a read of an item with n
+	// copies must observe. Under full replication n is the site count;
+	// under partial replication callers must pass the item's hosting
+	// degree — a majority of the cluster can exceed an item's copy
+	// count, which would make the item permanently unreadable.
 	ReadQuorum(n int) int
 
 	// WriteTargets returns the sites (excluding self) that must receive
@@ -42,8 +46,11 @@ type Policy interface {
 	WriteTargets(vec core.SessionVector, self core.SiteID) []core.SiteID
 
 	// RequiredAcks returns the number of positive phase-one acks, out of
-	// the contacted targets, needed to commit in an n-site system. The
-	// coordinator's own copy is always written and is not counted.
+	// the contacted targets, needed to commit a write to an item with n
+	// copies. The coordinator's own copy, when it hosts one, is written
+	// locally and is not counted. As with ReadQuorum, n is the site
+	// count only under full replication; partial-map callers size the
+	// quorum per item from its hosting degree.
 	RequiredAcks(n, contacted int) int
 
 	// AbortOnMissingAck reports whether a missing or negative ack from a

@@ -101,6 +101,30 @@ func TestQuorumSemantics(t *testing.T) {
 	}
 }
 
+// Quorum sizes must be computed over an item's copy count, not the
+// cluster size: in a 5-site system an item replicated on 3 sites has a
+// majority of 2, and sizing from the cluster (majority 3) would demand
+// more copies than the item possesses — permanently unwritable.
+func TestQuorumSizesFromDegree(t *testing.T) {
+	p := Quorum{}
+	const sites, degree = 5, 3
+	if need := p.ReadQuorum(degree); need != 2 {
+		t.Errorf("ReadQuorum(degree %d) = %d, want 2", degree, need)
+	}
+	if cluster, item := p.ReadQuorum(sites), p.ReadQuorum(degree); cluster <= item {
+		t.Fatalf("test premise broken: cluster-sized read quorum %d should exceed the item's %d", cluster, item)
+	}
+	// Write quorum for a degree-3 item: 2 copies total, so 1 ack beyond
+	// the coordinator's own hosted copy.
+	if acks := p.RequiredAcks(degree, 2); acks != 1 {
+		t.Errorf("RequiredAcks(degree %d) = %d, want 1", degree, acks)
+	}
+	// Degree 1 degenerates to the single copy itself.
+	if p.ReadQuorum(1) != 1 || p.RequiredAcks(1, 0) != 0 {
+		t.Errorf("degree-1 quorums: read %d acks %d", p.ReadQuorum(1), p.RequiredAcks(1, 0))
+	}
+}
+
 // The availability contrast that motivates the paper: with one site down in
 // a 4-site system, ROWAA still contacts everyone it believes is up and can
 // commit; ROWA's required-acks can never be met because the down site never

@@ -59,6 +59,9 @@ const passTraceBase = uint64(4) << 32
 type Target interface {
 	// Sites returns the number of database sites.
 	Sites() int
+	// Replicas returns the current item-to-site placement; the scrubber
+	// only repairs a site's own hosted copies.
+	Replicas() *core.ReplicaMap
 	// Status queries one site's state and, with includeFailLocks, its
 	// fail-lock table snapshot; it answers even for down sites.
 	Status(id core.SiteID, includeFailLocks bool) (*msg.StatusResp, error)
@@ -234,16 +237,19 @@ func (s *Scrubber) remaining() (int, error) {
 		if st.State != core.StatusUp {
 			continue
 		}
-		total += len(ownLocked(st))
+		total += len(ownLocked(st, s.t.Replicas()))
 	}
 	return total, nil
 }
 
-// ownLocked lists the items st's site holds fail-locked on its own copy.
-func ownLocked(st *msg.StatusResp) []core.ItemID {
+// ownLocked lists the items st's site holds fail-locked on its own copy,
+// restricted to the items it hosts: a bit for a non-hosted copy is not
+// repairable by reading there (the demand-copier path only refreshes
+// hosted copies) and the audit flags it as stray instead.
+func ownLocked(st *msg.StatusResp, replicas *core.ReplicaMap) []core.ItemID {
 	var out []core.ItemID
 	for item, bits := range st.FailLocks {
-		if bits&(1<<st.Site) != 0 {
+		if bits&(1<<st.Site) != 0 && replicas.IsHost(core.ItemID(item), st.Site) {
 			out = append(out, core.ItemID(item))
 		}
 	}
@@ -298,7 +304,7 @@ func (s *Scrubber) pass(p *pacer) (progressed bool) {
 			s.mu.Unlock()
 			continue
 		}
-		locked := ownLocked(st)
+		locked := ownLocked(st, s.t.Replicas())
 		scanned += len(locked)
 		if len(locked) == 0 {
 			s.finishEpisode(id)

@@ -178,24 +178,25 @@ func (s *Site) executeTxn(t txn.Txn, tr uint64) txn.Result {
 	}
 	vec := s.vec.Clone()
 	s.mu.Unlock()
+	rep := s.replicaMap()
 	targets := s.pol.WriteTargets(vec, s.cfg.ID)
 
 	localWrites := writes
 	perSite := map[core.SiteID][]core.ItemVersion{}
 	perSiteMaint := map[core.SiteID][]core.ItemID{}
-	if !s.replicas.IsFull() {
+	if !rep.IsFull() {
 		localWrites = localWrites[:0:0]
 		for _, iv := range writes {
 			avail := 0
-			if s.replicas.IsHost(iv.Item, s.cfg.ID) {
+			if rep.IsHost(iv.Item, s.cfg.ID) {
 				localWrites = append(localWrites, iv)
 				avail++
 			}
 			for _, target := range targets {
-				if s.replicas.IsHost(iv.Item, target) {
+				if rep.IsHost(iv.Item, target) {
 					perSite[target] = append(perSite[target], iv)
 					avail++
-				} else {
+				} else if s.pol.UsesFailLocks() {
 					perSiteMaint[target] = append(perSiteMaint[target], iv.Item)
 				}
 			}
@@ -204,13 +205,26 @@ func (s *Site) executeTxn(t txn.Txn, tr uint64) txn.Result {
 				return res
 			}
 		}
+		if !s.pol.UsesFailLocks() {
+			// No fail-lock tables to maintain (quorum): a site hosting
+			// none of the written items has nothing to receive, so the
+			// commit fan-out stays proportional to the items' hosting
+			// degrees instead of the cluster size.
+			contacted := targets[:0:0]
+			for _, target := range targets {
+				if len(perSite[target]) > 0 {
+					contacted = append(contacted, target)
+				}
+			}
+			targets = contacted
+		}
 	}
 
 	var acked, nacked, silent []core.SiteID
 	var nackReason string
 	if len(targets) > 0 {
 		replies := s.caller.MulticallT(tr, targets, func(target core.SiteID) msg.Body {
-			if s.replicas.IsFull() {
+			if rep.IsFull() {
 				return &msg.Prepare{Txn: t.ID, Vector: vec.Records(), Writes: writes}
 			}
 			return &msg.Prepare{
@@ -239,8 +253,39 @@ func (s *Site) executeTxn(t txn.Txn, tr uint64) txn.Result {
 		}
 	}
 
-	required := s.pol.RequiredAcks(s.cfg.Sites, len(targets))
-	if (s.pol.AbortOnMissingAck() && (len(silent) > 0 || len(nacked) > 0)) || len(acked) < required {
+	short := len(acked) < s.pol.RequiredAcks(s.cfg.Sites, len(targets))
+	if !rep.IsFull() && !s.pol.AbortOnMissingAck() {
+		// Per-item write quorums: a majority of the cluster can exceed a
+		// partially replicated item's copy count, which would leave the
+		// item permanently unwritable. Judge each written item against
+		// its own hosting degree instead — the copies actually updated
+		// (the coordinator's own hosted copy plus acked hosting targets)
+		// must reach the policy's quorum for that degree.
+		short = false
+		for _, iv := range writes {
+			updated, contacted := 0, 0
+			if rep.IsHost(iv.Item, s.cfg.ID) {
+				updated++
+			}
+			for _, id := range targets {
+				if rep.IsHost(iv.Item, id) {
+					contacted++
+				}
+			}
+			for _, id := range acked {
+				if rep.IsHost(iv.Item, id) {
+					updated++
+				}
+			}
+			// +1 converts RequiredAcks's acks-from-others count into a
+			// total copy count including the coordinator's.
+			if updated < s.pol.RequiredAcks(rep.Degree(iv.Item), contacted)+1 {
+				short = true
+				break
+			}
+		}
+	}
+	if (s.pol.AbortOnMissingAck() && (len(silent) > 0 || len(nacked) > 0)) || short {
 		// "abort database transaction; run control type 2 transaction to
 		// announce failure" (Appendix A.1).
 		s.sendAbort(acked, t.ID, tr)
@@ -334,7 +379,7 @@ func (s *Site) executeTxn(t txn.Txn, tr uint64) txn.Result {
 	}
 	var localMaint []core.ItemID
 	for _, iv := range writes {
-		if !s.replicas.IsHost(iv.Item, s.cfg.ID) {
+		if !rep.IsHost(iv.Item, s.cfg.ID) {
 			localMaint = append(localMaint, iv.Item)
 		}
 	}
@@ -356,14 +401,23 @@ func (s *Site) executeTxn(t txn.Txn, tr uint64) txn.Result {
 // markLostParticipants sets fail-locks for the given sites on the written
 // items, locally and at every operational site, after a phase-two loss.
 func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersion, tr uint64) {
-	items := make([]core.ItemID, 0, len(writes))
-	for _, iv := range writes {
-		items = append(items, iv.Item)
+	// Only the items a lost site hosts can be stale there: shipping the
+	// full written set would plant that site's fail-lock bit on items it
+	// holds no copy of, in every table in the system, and the audit
+	// rightly flags such bits as stray.
+	rep := s.replicaMap()
+	perLost := make(map[core.SiteID][]core.ItemID, len(lost))
+	for _, site := range lost {
+		for _, iv := range writes {
+			if rep.IsHost(iv.Item, site) {
+				perLost[site] = append(perLost[site], iv.Item)
+			}
+		}
 	}
 	s.mu.Lock()
 	for _, site := range lost {
-		for _, item := range items {
-			if s.replicas.IsHost(item, site) && !s.flocks.IsSet(item, site) {
+		for _, item := range perLost[site] {
+			if !s.flocks.IsSet(item, site) {
 				s.flocks.Set(item, site)
 				s.stats.FailLocksSet++
 			}
@@ -381,9 +435,15 @@ func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersio
 	// on recovery it installs its fail-lock table from a site that heard.
 	calls := make([]transport.Outcall, 0, len(lost)*len(targets))
 	for _, site := range lost {
-		for _, target := range targets {
-			calls = append(calls, transport.Outcall{To: target, Body: &msg.ClearFailLocks{Site: site, Items: items, Set: true}})
+		if len(perLost[site]) == 0 {
+			continue
 		}
+		for _, target := range targets {
+			calls = append(calls, transport.Outcall{To: target, Body: &msg.ClearFailLocks{Site: site, Items: perLost[site], Set: true}})
+		}
+	}
+	if len(calls) == 0 {
+		return
 	}
 	var silent []core.SiteID
 	seen := make(map[core.SiteID]bool, len(targets))
@@ -404,66 +464,116 @@ func (s *Site) markLostParticipants(lost []core.SiteID, writes []core.ItemVersio
 // remoteReads fetches fresh copies of the transaction's read items this
 // site does not host, from up-to-date hosting sites. It returns an empty
 // map under full replication. On failure it returns the abort reason.
+//
+// A failed donor does not fail the read while other candidates remain:
+// each round fans out to one donor per pending item, and items whose
+// donor stayed silent (announced down) or sent an unusable reply (a
+// decode problem, not a liveness signal — never announced) are retried
+// against the remaining candidates. Only when an item has exhausted
+// every up-to-date hosting site does the transaction abort — with
+// AbortDonorDown if a donor loss forced the exhaustion, AbortNoDonor
+// when no candidate existed at all.
 func (s *Site) remoteReads(t txn.Txn, tr uint64) (map[core.ItemID]core.ItemVersion, string) {
-	if s.replicas.IsFull() {
+	rep := s.replicaMap()
+	if rep.IsFull() {
 		return nil, ""
 	}
-	s.mu.Lock()
-	byDonor := map[core.SiteID][]core.ItemID{}
-	var order []core.SiteID
+	var pending []core.ItemID
 	for _, item := range core.ReadSet(t.Ops) {
-		if s.replicas.IsHost(item, s.cfg.ID) {
-			continue
+		if !rep.IsHost(item, s.cfg.ID) {
+			pending = append(pending, item)
 		}
-		donor, found := s.pickDonorLocked(item)
-		if !found {
-			s.mu.Unlock()
-			return nil, txn.AbortNoDonor
-		}
-		if _, ok := byDonor[donor]; !ok {
-			order = append(order, donor)
-		}
-		byDonor[donor] = append(byDonor[donor], item)
 	}
-	s.mu.Unlock()
-	if len(order) == 0 {
+	if len(pending) == 0 {
 		return nil, ""
 	}
 
-	// All donors are read in parallel under one shared deadline; results
-	// are processed in donor order so abort reasons stay deterministic.
 	out := make(map[core.ItemID]core.ItemVersion)
-	calls := make([]transport.Outcall, len(order))
-	for i, donor := range order {
-		calls[i] = transport.Outcall{To: donor, Body: &msg.ReadReq{Txn: t.ID, Items: byDonor[donor], RequireFresh: true}}
-	}
-	for i, r := range s.caller.MulticastT(tr, calls) {
-		if errors.Is(r.Err, transport.ErrCancelled) {
-			return nil, txn.AbortSiteDown
+	tried := make(map[core.ItemID]uint64, len(pending))
+	sawDown := false
+	for len(pending) > 0 {
+		s.mu.Lock()
+		byDonor := map[core.SiteID][]core.ItemID{}
+		var order []core.SiteID
+		for _, item := range pending {
+			donor, found := s.pickDonorLocked(rep, item, tried[item])
+			if !found {
+				s.mu.Unlock()
+				if sawDown {
+					return nil, txn.AbortDonorDown
+				}
+				return nil, txn.AbortNoDonor
+			}
+			tried[item] |= 1 << donor
+			if _, ok := byDonor[donor]; !ok {
+				order = append(order, donor)
+			}
+			byDonor[donor] = append(byDonor[donor], item)
 		}
-		var resp *msg.ReadResp
-		if r.Err == nil {
-			resp, _ = r.Reply.Body.(*msg.ReadResp) // wrong type = no reply
+		s.mu.Unlock()
+
+		// This round's donors are read in parallel under one shared
+		// deadline; results are processed in donor order so abort reasons
+		// stay deterministic.
+		calls := make([]transport.Outcall, len(order))
+		for i, donor := range order {
+			calls[i] = transport.Outcall{To: donor, Body: &msg.ReadReq{Txn: t.ID, Items: byDonor[donor], RequireFresh: true}}
 		}
-		if resp == nil {
-			s.announceFailure([]core.SiteID{order[i]}, tr)
-			return nil, txn.AbortDonorDown
+		pending = pending[:0]
+		var announce []core.SiteID
+		for i, r := range s.caller.MulticastT(tr, calls) {
+			donor := order[i]
+			if errors.Is(r.Err, transport.ErrCancelled) {
+				return nil, txn.AbortSiteDown
+			}
+			if r.Err != nil {
+				// Silence: the donor is genuinely unresponsive.
+				announce = append(announce, donor)
+				sawDown = true
+				pending = append(pending, byDonor[donor]...)
+				continue
+			}
+			resp, wellTyped := r.Reply.Body.(*msg.ReadResp)
+			if !wellTyped || !resp.OK {
+				// The donor answered — it is alive. A wrong-typed body or a
+				// refusal is a protocol problem, not a failure; retry the
+				// items elsewhere without announcing the donor down.
+				pending = append(pending, byDonor[donor]...)
+				continue
+			}
+			got := make(map[core.ItemID]core.ItemVersion, len(resp.Items))
+			for _, iv := range resp.Items {
+				got[iv.Item] = iv
+			}
+			for _, item := range byDonor[donor] {
+				iv, ok := got[item]
+				if !ok {
+					// An OK reply missing an item we asked for is the same
+					// class of decode problem as a wrong-typed body: without
+					// this check the coordinator would silently fall back to
+					// its own non-hosted (zero) copy. Retry elsewhere.
+					pending = append(pending, item)
+					continue
+				}
+				out[item] = iv
+			}
 		}
-		if !resp.OK {
-			return nil, txn.AbortNoDonor
-		}
-		for _, iv := range resp.Items {
-			out[iv.Item] = iv
+		if len(announce) > 0 {
+			s.announceFailure(announce, tr)
 		}
 	}
 	return out, ""
 }
 
 // pickDonorLocked returns an operational hosting site holding an
-// up-to-date copy of item. Callers hold mu.
-func (s *Site) pickDonorLocked(item core.ItemID) (core.SiteID, bool) {
+// up-to-date copy of item, skipping sites in the excluded bitmask
+// (donors already tried). Callers hold mu.
+func (s *Site) pickDonorLocked(rep *core.ReplicaMap, item core.ItemID, excluded uint64) (core.SiteID, bool) {
 	for _, cand := range s.flocks.UpToDateSites(item, s.cfg.ID) {
-		if s.vec.IsUp(cand) && s.replicas.IsHost(item, cand) {
+		if excluded&(1<<cand) != 0 {
+			continue
+		}
+		if s.vec.IsUp(cand) && rep.IsHost(item, cand) {
 			return cand, true
 		}
 	}
@@ -475,11 +585,12 @@ func (s *Site) pickDonorLocked(item core.ItemID) (core.SiteID, bool) {
 // host are excluded: there is no local copy to refresh (remoteReads
 // serves them instead).
 func (s *Site) staleReadItems(t txn.Txn) []core.ItemID {
+	rep := s.replicaMap()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []core.ItemID
 	for _, item := range core.ReadSet(t.Ops) {
-		if s.replicas.IsHost(item, s.cfg.ID) && s.flocks.IsSet(item, s.cfg.ID) {
+		if rep.IsHost(item, s.cfg.ID) && s.flocks.IsSet(item, s.cfg.ID) {
 			out = append(out, item)
 		}
 	}
@@ -498,6 +609,7 @@ func (s *Site) staleReadItems(t txn.Txn) []core.ItemID {
 func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool, tr uint64) (int, string) {
 	// Choose a donor per item: an operational site whose copy carries no
 	// fail-lock.
+	rep := s.replicaMap()
 	s.mu.Lock()
 	byDonor := make(map[core.SiteID][]core.ItemID)
 	order := make([]core.SiteID, 0, 2)
@@ -505,7 +617,7 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool, t
 		if !s.flocks.IsSet(item, s.cfg.ID) {
 			continue // already refreshed (e.g. by a concurrent commit)
 		}
-		donor, found := s.pickDonorLocked(item)
+		donor, found := s.pickDonorLocked(rep, item, 0)
 		if !found {
 			if bestEffort {
 				continue
@@ -543,14 +655,19 @@ func (s *Site) runCopiers(items []core.ItemID, id core.TxnID, bestEffort bool, t
 		if errors.Is(r.Err, transport.ErrCancelled) {
 			return count, txn.AbortSiteDown
 		}
-		var resp *msg.CopyResponse
-		if r.Err == nil {
-			resp, _ = r.Reply.Body.(*msg.CopyResponse) // wrong type = no reply
-		}
-		if resp == nil {
+		if r.Err != nil {
 			// "site to which copy request sent is now down": abort and
 			// announce (Appendix A.1).
 			s.announceFailure([]core.SiteID{donor}, tr)
+			if bestEffort {
+				continue
+			}
+			return count, txn.AbortDonorDown
+		}
+		resp, wellTyped := r.Reply.Body.(*msg.CopyResponse)
+		if !wellTyped {
+			// The donor answered — it is alive; a wrong-typed body is a
+			// decode problem, never grounds to announce it down.
 			if bestEffort {
 				continue
 			}
@@ -630,51 +747,83 @@ func (s *Site) fanoutClears(targets []core.SiteID, body *msg.ClearFailLocks, tr 
 	return lost, cancelled
 }
 
-// quorumRead collects ReadQuorum versioned copies of every read item
-// (counting the local copy) and returns, per read operation, the highest
-// version observed. Used only by the quorum baseline.
+// quorumRead collects, for every read item, ReadQuorum versioned copies
+// from the item's hosting sites (counting the local copy when this site
+// hosts one) and returns, per read operation, the highest version
+// observed. Used only by the quorum baseline.
+//
+// Quorums are sized per item from its hosting degree: under partial
+// replication a global majority of sites can exceed an item's copy
+// count, and a non-hosting site's answer is not a vote for that item.
+// Under full replication every degree equals the site count and every
+// site answers for every item, so this reduces exactly to the old
+// global-majority check.
 func (s *Site) quorumRead(t txn.Txn, tr uint64) ([]core.ItemVersion, bool) {
 	readSet := core.ReadSet(t.Ops)
 	if len(readSet) == 0 {
 		return nil, true
 	}
-	need := s.pol.ReadQuorum(s.cfg.Sites)
+	rep := s.replicaMap()
 
 	best := make(map[core.ItemID]core.ItemVersion, len(readSet))
+	votes := make(map[core.ItemID]int, len(readSet))
+	need := make(map[core.ItemID]int, len(readSet))
+	perTarget := map[core.SiteID][]core.ItemID{}
+	var targets []core.SiteID
+	remote := false
 	for _, item := range readSet {
-		iv, err := s.store.Get(item)
-		if err != nil {
-			return nil, false
+		need[item] = s.pol.ReadQuorum(rep.Degree(item))
+		if rep.IsHost(item, s.cfg.ID) {
+			iv, err := s.store.Get(item)
+			if err != nil {
+				return nil, false
+			}
+			best[item] = iv
+			votes[item] = 1
 		}
-		best[item] = iv
-	}
-	votes := 1 // the local copy
-
-	if need > 1 {
-		var targets []core.SiteID
+		if votes[item] < need[item] {
+			remote = true
+		}
 		for i := 0; i < s.cfg.Sites; i++ {
-			if id := core.SiteID(i); id != s.cfg.ID {
+			id := core.SiteID(i)
+			if id == s.cfg.ID || !rep.IsHost(item, id) {
+				continue
+			}
+			if _, ok := perTarget[id]; !ok {
 				targets = append(targets, id)
 			}
+			perTarget[id] = append(perTarget[id], item)
 		}
-		replies := s.caller.MulticallT(tr, targets, func(core.SiteID) msg.Body {
-			return &msg.ReadReq{Txn: t.ID, Items: readSet}
+	}
+
+	if remote && len(targets) > 0 {
+		replies := s.caller.MulticallT(tr, targets, func(target core.SiteID) msg.Body {
+			return &msg.ReadReq{Txn: t.ID, Items: perTarget[target]}
 		})
-		for _, reply := range replies {
+		for _, id := range targets {
+			reply, ok := replies[id]
+			if !ok {
+				continue
+			}
 			resp, wellTyped := reply.Body.(*msg.ReadResp)
 			if !wellTyped || !resp.OK {
 				continue
 			}
-			votes++
 			for _, iv := range resp.Items {
+				if _, asked := need[iv.Item]; !asked {
+					continue
+				}
+				votes[iv.Item]++
 				if cur, ok := best[iv.Item]; !ok || iv.Version > cur.Version {
 					best[iv.Item] = iv
 				}
 			}
 		}
 	}
-	if votes < need {
-		return nil, false
+	for _, item := range readSet {
+		if votes[item] < need[item] {
+			return nil, false
+		}
 	}
 
 	// Emit in operation order, as TxnResult documents.

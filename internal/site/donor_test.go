@@ -1,0 +1,100 @@
+package site
+
+import (
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/msg"
+	"minraid/internal/transport"
+)
+
+// badDonorPeer occupies a site ID with a responder that answers every
+// request with the supplied body — a donor that is alive (it replies)
+// but unusable (the reply is garbage or a refusal).
+func badDonorPeer(t *testing.T, net *transport.Memory, id core.SiteID, mk func() msg.Body) {
+	t.Helper()
+	ep, err := net.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := transport.NewCaller(ep, time.Second)
+	go func() {
+		for {
+			env, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			if env.Body.Kind().IsReply() {
+				continue
+			}
+			caller.Reply(env, mk())
+		}
+	}()
+	t.Cleanup(func() { ep.Close() })
+}
+
+// TestMalformedDonorReplyRetriedWithoutAnnounce covers remoteReads'
+// donor handling: a donor that answers — with a wrong-typed body, a
+// refusal, or an OK reply missing the requested items — is alive, so the
+// coordinator must retry the item on the next candidate WITHOUT
+// announcing the responsive donor down. Only silence is a failure
+// signal.
+func TestMalformedDonorReplyRetriedWithoutAnnounce(t *testing.T) {
+	cases := map[string]func() msg.Body{
+		"wrong-typed body": func() msg.Body { return &msg.StatusResp{} },
+		"refusal":          func() msg.Body { return &msg.ReadResp{OK: false} },
+		"ok missing items": func() msg.Body { return &msg.ReadResp{OK: true} },
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			net := transport.NewMemory(transport.MemoryConfig{Sites: 3})
+			t.Cleanup(func() { net.Close() })
+			replicas := core.RoundRobinReplication(3, 3, 2)
+			var sites []*Site
+			for _, id := range []core.SiteID{0, 2} {
+				s, err := New(Config{
+					ID: id, Sites: 3, Items: 3,
+					AckTimeout: 100 * time.Millisecond,
+					Replicas:   replicas,
+				}, net)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Start()
+				t.Cleanup(s.Stop)
+				sites = append(sites, s)
+			}
+			badDonorPeer(t, net, 1, mk)
+
+			mgr, err := net.Endpoint(core.ManagingSite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			caller := transport.NewCaller(mgr, 5*time.Second)
+			go func() {
+				for {
+					env, ok := mgr.Recv()
+					if !ok {
+						return
+					}
+					caller.Deliver(env)
+				}
+			}()
+
+			// Item 1 is hosted by {1, 2}; coordinator 0 holds no copy and
+			// picks donor 1 (lowest candidate) first.
+			reply, err := caller.Call(0, &msg.ClientTxn{Txn: 1, Ops: []core.Op{core.Read(1)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := reply.Body.(*msg.TxnResult)
+			if !res.Committed {
+				t.Fatalf("read aborted (%s) despite a usable second donor", res.AbortReason)
+			}
+			if !sites[0].Vector().IsUp(1) {
+				t.Error("responsive donor announced down on a decode problem")
+			}
+		})
+	}
+}

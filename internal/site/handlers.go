@@ -47,6 +47,8 @@ func (s *Site) handle(env *msg.Envelope) {
 		s.handleCtrlReplicate(env, body)
 	case *msg.CtrlLockSync:
 		s.handleCtrlLockSync(env, body)
+	case *msg.CtrlRehost:
+		s.handleCtrlRehost(env, body)
 	case *msg.ReadReq:
 		s.handleReadReq(env, body)
 	case *msg.StatusReq:
@@ -260,8 +262,9 @@ func (s *Site) maintainFailLocksLocked(writes []core.ItemVersion, maintOnly []co
 	if s.cfg.DisableFailLockMaintenance || !s.pol.UsesFailLocks() {
 		return
 	}
+	rep := s.replicaMap()
 	maintain := func(item core.ItemID) {
-		set, cleared := s.flocks.MaintainMasked(item, vec, s.replicas.HostMask(item))
+		set, cleared := s.flocks.MaintainMasked(item, vec, rep.HostMask(item))
 		s.stats.FailLocksSet += uint64(set)
 		s.stats.FailLocksCleared += uint64(cleared)
 	}
@@ -280,6 +283,7 @@ func (s *Site) maintainFailLocksLocked(writes []core.ItemVersion, maintOnly []co
 // fail-lock set for this site).
 func (s *Site) handleCopyRequest(env *msg.Envelope, body *msg.CopyRequest) {
 	start := time.Now()
+	rep := s.replicaMap()
 	s.mu.Lock()
 	if s.state != core.StatusUp {
 		s.mu.Unlock()
@@ -287,7 +291,7 @@ func (s *Site) handleCopyRequest(env *msg.Envelope, body *msg.CopyRequest) {
 	}
 	items := make([]core.ItemVersion, 0, len(body.Items))
 	for _, item := range body.Items {
-		if int(item) >= s.cfg.Items || !s.replicas.IsHost(item, s.cfg.ID) {
+		if int(item) >= s.cfg.Items || !rep.IsHost(item, s.cfg.ID) {
 			s.mu.Unlock()
 			s.caller.Reply(env, &msg.CopyResponse{Txn: body.Txn, OK: false, Reason: "donor hosts no copy"})
 			return
@@ -318,12 +322,18 @@ func (s *Site) handleCopyRequest(env *msg.Envelope, body *msg.CopyRequest) {
 // phases.
 func (s *Site) handleClearFailLocks(env *msg.Envelope, body *msg.ClearFailLocks) {
 	start := time.Now()
+	rep := s.replicaMap()
 	s.mu.Lock()
 	for _, item := range body.Items {
 		if int(item) >= s.cfg.Items || int(body.Site) >= s.cfg.Sites {
 			continue
 		}
 		switch {
+		// A fail-lock marks a stale copy; a site hosting no copy of the
+		// item has nothing to be stale, so a Set for it is dropped rather
+		// than planting a stray bit the audit would flag.
+		case body.Set && !rep.IsHost(item, body.Site):
+			continue
 		case body.Set && !s.flocks.IsSet(item, body.Site):
 			s.flocks.Set(item, body.Site)
 			s.stats.FailLocksSet++
@@ -439,12 +449,57 @@ func (s *Site) handleCtrlLockSync(env *msg.Envelope, body *msg.CtrlLockSync) {
 	s.emit(env.Trace, trace.PhaseCtrl1, "lock-sync", start)
 }
 
+// handleCtrlRehost re-homes a permanently lost site's copies: for each
+// (item, new host) pair the replica map's host bit moves from the lost
+// site to the new host, the new host's copy is fail-locked (it holds no
+// data yet — copiers populate it on demand or via drain), and any stray
+// bit for the lost site is dropped (it no longer hosts, so it can no
+// longer be stale). The map is replaced copy-on-write: concurrent
+// readers keep the old snapshot; the handler runs in the event loop, so
+// rehosts themselves are serialized.
+func (s *Site) handleCtrlRehost(env *msg.Envelope, body *msg.CtrlRehost) {
+	start := time.Now()
+	if len(body.Items) != len(body.NewHosts) {
+		s.caller.Reply(env, &msg.CtrlRehostAck{OK: false, Reason: "items/hosts length mismatch"})
+		return
+	}
+	for i, item := range body.Items {
+		if int(item) >= s.cfg.Items || int(body.NewHosts[i]) >= s.cfg.Sites || int(body.Lost) >= s.cfg.Sites {
+			s.caller.Reply(env, &msg.CtrlRehostAck{OK: false, Reason: "item or site out of range"})
+			return
+		}
+	}
+	s.mu.Lock()
+	if s.state != core.StatusUp {
+		s.mu.Unlock()
+		s.caller.Reply(env, &msg.CtrlRehostAck{OK: false, Reason: "not operational"})
+		return
+	}
+	next := s.replicaMap().Clone()
+	for i, item := range body.Items {
+		next.Rehost(item, body.Lost, body.NewHosts[i])
+		if !s.flocks.IsSet(item, body.NewHosts[i]) {
+			s.flocks.Set(item, body.NewHosts[i])
+			s.stats.FailLocksSet++
+		}
+		if s.flocks.IsSet(item, body.Lost) {
+			s.flocks.Clear(item, body.Lost)
+			s.stats.FailLocksCleared++
+		}
+	}
+	s.replicas.Store(next)
+	s.mu.Unlock()
+	s.caller.Reply(env, &msg.CtrlRehostAck{OK: true})
+	s.emit(env.Trace, trace.PhaseCtrl1, fmt.Sprintf("rehost lost=%d items=%d", body.Lost, len(body.Items)), start)
+}
+
 // handleReadReq serves a remote read: version voting for the quorum
 // baseline (any copy qualifies), or a fresh-copy read for partially
 // replicated ROWAA (RequireFresh: this site must host the item and its
 // copy must not be fail-locked).
 func (s *Site) handleReadReq(env *msg.Envelope, body *msg.ReadReq) {
 	start := time.Now()
+	rep := s.replicaMap()
 	s.mu.Lock()
 	if s.state != core.StatusUp {
 		s.mu.Unlock()
@@ -453,7 +508,7 @@ func (s *Site) handleReadReq(env *msg.Envelope, body *msg.ReadReq) {
 	items := make([]core.ItemVersion, 0, len(body.Items))
 	for _, item := range body.Items {
 		if body.RequireFresh && (int(item) >= s.cfg.Items ||
-			!s.replicas.IsHost(item, s.cfg.ID) || s.flocks.IsSet(item, s.cfg.ID)) {
+			!rep.IsHost(item, s.cfg.ID) || s.flocks.IsSet(item, s.cfg.ID)) {
 			s.mu.Unlock()
 			s.caller.Reply(env, &msg.ReadResp{Txn: body.Txn, OK: false})
 			return
@@ -481,11 +536,25 @@ func (s *Site) handleStatusReq(env *msg.Envelope, body *msg.StatusReq) {
 	s.caller.Reply(env, resp)
 }
 
-// handleDumpReq serves the consistency audit.
+// handleDumpReq serves the consistency audit. With HostedOnly the dump
+// is filtered to the items this site hosts, so a partial-replication
+// audit moves O(items×degree) copies instead of O(items×sites).
 func (s *Site) handleDumpReq(env *msg.Envelope, body *msg.DumpReq) {
 	items, err := s.store.Dump(body.First, body.Last)
 	if err != nil {
 		items = nil
+	}
+	if body.HostedOnly {
+		rep := s.replicaMap()
+		if !rep.IsFull() {
+			hosted := items[:0:0]
+			for _, iv := range items {
+				if rep.IsHost(iv.Item, s.cfg.ID) {
+					hosted = append(hosted, iv)
+				}
+			}
+			items = hosted
+		}
 	}
 	s.caller.Reply(env, &msg.DumpResp{Items: items})
 }

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minraid/internal/core"
@@ -153,11 +154,19 @@ type Config struct {
 	Tracer *trace.Recorder
 	// Replicas assigns items to hosting sites. Nil means full
 	// replication, the paper's assumption 4. Partial replication is
-	// supported for the ROWAA policy only: a coordinator that hosts no
-	// copy of a read item fetches a fresh copy from a hosting site, and
-	// writes go to the hosting sites (plus maintenance-only notices to
-	// the other operational sites, keeping fail-lock tables fully
-	// replicated).
+	// supported for the copy-aware policies — ROWAA and quorum. Under
+	// ROWAA a coordinator that hosts no copy of a read item fetches a
+	// fresh copy from a hosting site, and writes go to the hosting sites
+	// (plus maintenance-only notices to the other operational sites,
+	// keeping fail-lock tables fully replicated). Under quorum, read and
+	// write quorums are sized per item from its hosting degree and only
+	// hosting sites' copies vote. ROWA is rejected: write-all over a
+	// partial map is write-all-hosts, which is ROWAA without its
+	// availability, and supporting it would only blur the baselines.
+	//
+	// The map is installed copy-on-write: permanent-loss rebalancing
+	// (CtrlRehost) swaps in an edited clone, so in-flight operations keep
+	// the placement they started with.
 	Replicas *core.ReplicaMap
 	// ConcurrentTxns enables the full-RAID future-work mode the paper
 	// deferred ("we plan to run this protocol ... taking into account
@@ -240,8 +249,8 @@ func (c *Config) fillDefaults() error {
 		return fmt.Errorf("site: replica map is %dx%d, config is %dx%d",
 			c.Replicas.Items(), c.Replicas.Sites(), c.Items, c.Sites)
 	}
-	if !c.Replicas.IsFull() && c.Policy.Name() != "rowaa" {
-		return fmt.Errorf("site: partial replication requires the rowaa policy, not %s", c.Policy.Name())
+	if !c.Replicas.IsFull() && c.Policy.Name() != "rowaa" && c.Policy.Name() != "quorum" {
+		return fmt.Errorf("site: partial replication requires a copy-aware policy (rowaa or quorum), not %s", c.Policy.Name())
 	}
 	if !c.Replicas.IsFull() && c.EnableType3 {
 		return fmt.Errorf("site: type-3 control transactions require full replication (dynamic replica maps are out of scope)")
@@ -294,13 +303,18 @@ func (st *stagedTxn) finish(id core.TxnID) {
 
 // Site is one mini-RAID database site.
 type Site struct {
-	cfg      Config
-	pol      policy.Policy
-	ep       transport.Endpoint
-	caller   *transport.Caller
-	reg      *metrics.Registry
-	tracer   *trace.Recorder
-	replicas *core.ReplicaMap
+	cfg    Config
+	pol    policy.Policy
+	ep     transport.Endpoint
+	caller *transport.Caller
+	reg    *metrics.Registry
+	tracer *trace.Recorder
+	// replicas holds the current replica placement behind an atomic
+	// pointer: coordinator and handler paths read it without mu, so a
+	// rehost (permanent-loss rebalancing) clones the map, edits the
+	// clone, and swaps it in. Each operation snapshots the pointer once
+	// via replicaMap and uses that snapshot throughout.
+	replicas atomic.Pointer[core.ReplicaMap]
 
 	mu      sync.Mutex
 	state   core.Status
@@ -358,26 +372,31 @@ func New(cfg Config, net transport.Network) (*Site, error) {
 		gate = cfg.ConcurrentTxns
 	}
 	s := &Site{
-		cfg:      cfg,
-		pol:      cfg.Policy,
-		ep:       ep,
-		caller:   transport.NewCaller(ep, cfg.AckTimeout),
-		reg:      cfg.Metrics,
-		tracer:   cfg.Tracer,
-		replicas: cfg.Replicas,
-		state:    core.StatusUp,
-		session:  1,
-		vec:      core.NewSessionVector(cfg.Sites),
-		flocks:   core.NewFailLockTable(cfg.Items, cfg.Sites),
-		staged:   make(map[core.TxnID]*stagedTxn),
-		store:    cfg.Store,
-		locks:    newLockManager(cfg),
-		txnGate:  make(chan struct{}, gate),
+		cfg:     cfg,
+		pol:     cfg.Policy,
+		ep:      ep,
+		caller:  transport.NewCaller(ep, cfg.AckTimeout),
+		reg:     cfg.Metrics,
+		tracer:  cfg.Tracer,
+		state:   core.StatusUp,
+		session: 1,
+		vec:     core.NewSessionVector(cfg.Sites),
+		flocks:  core.NewFailLockTable(cfg.Items, cfg.Sites),
+		staged:  make(map[core.TxnID]*stagedTxn),
+		store:   cfg.Store,
+		locks:   newLockManager(cfg),
+		txnGate: make(chan struct{}, gate),
 
 		reqSeen: make(map[core.SiteID]*seqWindow),
 	}
+	s.replicas.Store(cfg.Replicas)
 	return s, nil
 }
+
+// replicaMap returns the current replica placement. Every operation
+// snapshots it once and uses the snapshot throughout, so a concurrent
+// rehost swap cannot split one transaction across two placements.
+func (s *Site) replicaMap() *core.ReplicaMap { return s.replicas.Load() }
 
 // newLockManager builds the 2PL manager for concurrent mode; serial mode
 // (the paper's) needs none. The acquisition timeout (Config.LockWaitBudget)
