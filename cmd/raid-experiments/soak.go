@@ -58,12 +58,39 @@ func runSoak(args []string) {
 		repro      = fs.Bool("repro", true, "re-run the first epoch and verify identical partition events and chaos decisions")
 		pct        = fs.Bool("percentiles", false, "also print p50/p95/p99 latency tables per event class")
 		quiet      = fs.Bool("q", false, "suppress per-epoch progress lines")
+		fabric     = fs.String("fabric", "local", "deployment shape: local (in-process cluster, simulated failures) or proc (raidsrv OS processes, SIGKILL failures, restart-with-WAL-replay recovery)")
+		raidsrv    = fs.String("raidsrv", "", "prebuilt raidsrv binary for -fabric proc (empty: go build from source)")
+		workdir    = fs.String("workdir", "", "work dir for -fabric proc: spec file, per-site logs, WAL trees (empty: a temp dir, removed on exit)")
 	)
 	fs.Parse(args)
 
 	pol, known := policy.ByName(*policyName)
 	if !known {
 		fail(fmt.Errorf("unknown policy %q (want rowaa, rowa or quorum)", *policyName))
+	}
+	if *fabric == "proc" {
+		// Chaos probabilities and the transport selector are in-process
+		// knobs; clear their defaults so only an explicit request reaches
+		// the proc validator (which explains why it cannot honor them).
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["drop"] {
+			*drop = 0
+		}
+		if !set["dup"] {
+			*dup = 0
+		}
+		if !set["jitter"] {
+			*jitter = 0
+		}
+		if !set["transport"] {
+			*trans = ""
+		}
+		if !set["ack"] {
+			// Failure detection across real OS processes: scheduling hiccups
+			// alone can exceed the in-process 50ms default.
+			*ack = 250 * time.Millisecond
+		}
 	}
 	cfg := experiment.SoakConfig{
 		Base: experiment.Config{
@@ -91,6 +118,9 @@ func runSoak(args []string) {
 		Concurrency:    *conc,
 		ArrivalRate:    *rate,
 		LockWaitBudget: *lockwait,
+		Fabric:         *fabric,
+		RaidsrvBin:     *raidsrv,
+		WorkDir:        *workdir,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
@@ -105,6 +135,9 @@ func runSoak(args []string) {
 	}
 	if *degree > 0 && *degree < *sites {
 		mode += fmt.Sprintf(", degree %d of %d", *degree, *sites)
+	}
+	if *fabric == "proc" {
+		mode += ", fabric proc (SIGKILL failures, WAL-replay recovery)"
 	}
 	header(fmt.Sprintf("Chaos soak: %d seed(s) x %d epoch(s) x %d txns (policy=%s transport=%s drop=%v dup=%v jitter=%v%s)",
 		len(cfg.Seeds), cfg.EpochsPerSeed, cfg.TxnsPerEpoch, *policyName, *trans, *drop, *dup, *jitter, mode))
@@ -125,6 +158,12 @@ func runSoak(args []string) {
 			fmt.Printf("seed %d epoch %d heal: %v via %d scrub passes (%d items refreshed, %d copier txns), %d fail-locks left\n",
 				e.Seed, e.Epoch, e.HealTime.Round(time.Millisecond),
 				e.ScrubPasses, e.ScrubItems, e.ScrubCopiers, e.LocksAfterDrain)
+		}
+	}
+	if *fabric == "proc" {
+		for _, e := range res.Epochs {
+			fmt.Printf("seed %d epoch %d crash cycles: %d SIGKILLs, %d exec+WAL-replay restarts, %d drain copiers\n",
+				e.Seed, e.Epoch, e.Kills, e.Restarts, e.DrainCopiers)
 		}
 	}
 	for _, e := range res.Epochs {
@@ -179,6 +218,9 @@ func verifyRepro(cfg experiment.SoakConfig, first experiment.EpochResult) error 
 	cfg.Seeds = []int64{first.Seed}
 	cfg.EpochsPerSeed = 1
 	cfg.Logf = nil
+	// A proc re-run must boot a fresh fleet on empty stores, not the first
+	// run's WAL trees.
+	cfg.WorkDir = ""
 	if cfg.WALDir != "" {
 		dir, err := os.MkdirTemp("", "raid-soak-repro-")
 		if err != nil {

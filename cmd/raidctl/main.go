@@ -3,17 +3,21 @@
 // queries status, and audits consistency.
 //
 //	raidctl -addrs "0=:7000,1=:7001,m=:7009" status
-//	raidctl -addrs ... txn 0 w3=hello r3
-//	raidctl -addrs ... fail 1
-//	raidctl -addrs ... recover 1
-//	raidctl -addrs ... audit -items 50
-//	raidctl -addrs ... shutdown
+//	raidctl -config cluster.json txn 0 w3=hello r3
+//	raidctl -config cluster.json fail 1
+//	raidctl -config cluster.json recover 1
+//	raidctl -config cluster.json audit
+//	raidctl -config cluster.json shutdown
 //
-// Transaction IDs are derived from the wall clock so separate raidctl
-// invocations produce monotonically increasing versions.
+// The -config file is the same deploy.ClusterSpec raidsrv loads (and the
+// process fabric writes), so the manager's view of the fleet — placement
+// degree included — always matches the sites'. Transaction IDs are
+// derived from the wall clock so separate raidctl invocations produce
+// monotonically increasing versions.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,16 +26,15 @@ import (
 	"minraid/internal/cli"
 	"minraid/internal/cluster"
 	"minraid/internal/core"
-	"minraid/internal/msg"
-	"minraid/internal/netcfg"
+	"minraid/internal/deploy"
 	"minraid/internal/transport"
 )
 
 func main() {
+	spec := deploy.BindFlags(flag.CommandLine)
 	var (
-		addrs   = flag.String("addrs", "", "address map: 0=host:port,...,m=host:port (m is this process)")
-		items   = flag.Int("items", 50, "database size (needed by audit)")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-call timeout")
+		confPath = flag.String("config", "", "load the cluster spec from a JSON file (overrides the spec flags)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-call timeout")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -39,12 +42,25 @@ func main() {
 		usage()
 	}
 
-	addrMap, sites, err := netcfg.ParseAddrs(*addrs)
+	if *confPath != "" {
+		loaded, err := deploy.LoadSpec(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec = loaded
+	} else if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	addrMap, sites, err := spec.AddrMap()
 	if err != nil {
 		fatal(err)
 	}
 	if _, ok := addrMap[core.ManagingSite]; !ok {
 		fatal(fmt.Errorf("address map needs an m= entry for the managing site"))
+	}
+	pol, err := spec.Policy()
+	if err != nil {
+		fatal(err)
 	}
 
 	net, err := transport.NewTCP(transport.TCPConfig{Self: core.ManagingSite, Addrs: addrMap})
@@ -56,10 +72,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctl := &controller{
-		caller: transport.NewCaller(ep, *timeout),
-		sites:  sites,
-		items:  *items,
+	caller := transport.NewCaller(ep, *timeout)
+	// The managing site's control plane is the same cluster.Manager the
+	// in-process experiments embed — raidctl only supplies the wire. The
+	// spec-derived placement makes audits and status placement-aware; the
+	// hardcoded full-replication assumption is gone.
+	mgr, err := cluster.NewManager(caller, cluster.ManagerConfig{
+		Sites:    sites,
+		Items:    spec.Items,
+		Policy:   pol,
+		Timeout:  *timeout,
+		Replicas: spec.Replicas(),
+	})
+	if err != nil {
+		fatal(err)
 	}
 	go func() {
 		for {
@@ -67,10 +93,11 @@ func main() {
 			if !ok {
 				return
 			}
-			ctl.caller.Deliver(env)
+			caller.Deliver(env)
 		}
 	}()
 
+	ctl := &controller{mgr: mgr}
 	switch args[0] {
 	case "status":
 		ctl.status()
@@ -90,7 +117,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidctl -addrs MAP [flags] {status|txn SITE OPS...|fail SITE|recover SITE|audit|shutdown}")
+	fmt.Fprintln(os.Stderr, "usage: raidctl {-addrs MAP | -config FILE} [flags] {status|txn SITE OPS...|fail SITE|recover SITE|audit|shutdown}")
 	os.Exit(2)
 }
 
@@ -99,55 +126,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// controller is the TCP managing site; it implements cluster.Prober so the
-// shared audit runs unchanged over real sockets.
+// controller renders Manager operations for the terminal.
 type controller struct {
-	caller *transport.Caller
-	sites  int
-	items  int
-}
-
-// Sites implements cluster.Prober.
-func (c *controller) Sites() int { return c.sites }
-
-// Items implements cluster.Prober.
-func (c *controller) Items() int { return c.items }
-
-// Replicas implements cluster.Prober; the TCP deployment runs the paper's
-// fully replicated configuration.
-func (c *controller) Replicas() *core.ReplicaMap {
-	return core.FullReplication(c.items, c.sites)
-}
-
-// Status implements cluster.Prober.
-func (c *controller) Status(id core.SiteID, includeFailLocks bool) (*msg.StatusResp, error) {
-	reply, err := c.caller.Call(id, &msg.StatusReq{IncludeFailLocks: includeFailLocks})
-	if err != nil {
-		return nil, fmt.Errorf("status of %s: %w", id, err)
-	}
-	st, ok := reply.Body.(*msg.StatusResp)
-	if !ok {
-		return nil, fmt.Errorf("unexpected reply %s", reply.Body.Kind())
-	}
-	return st, nil
-}
-
-// Dump implements cluster.Prober.
-func (c *controller) Dump(id core.SiteID) ([]core.ItemVersion, error) {
-	reply, err := c.caller.Call(id, &msg.DumpReq{First: 0, Last: core.ItemID(c.items - 1)})
-	if err != nil {
-		return nil, fmt.Errorf("dump of %s: %w", id, err)
-	}
-	resp, ok := reply.Body.(*msg.DumpResp)
-	if !ok {
-		return nil, fmt.Errorf("unexpected reply %s", reply.Body.Kind())
-	}
-	return resp.Items, nil
+	mgr *cluster.Manager
 }
 
 func (c *controller) status() {
-	for i := 0; i < c.sites; i++ {
-		st, err := c.Status(core.SiteID(i), false)
+	for i := 0; i < c.mgr.Sites(); i++ {
+		st, err := c.mgr.Status(core.SiteID(i), false)
 		if err != nil {
 			fmt.Printf("site %d: unreachable (%v)\n", i, err)
 			continue
@@ -161,7 +147,7 @@ func (c *controller) txn(args []string) {
 	if len(args) < 2 {
 		fatal(fmt.Errorf("usage: txn SITE OPS... (ops: r3, w5=hello)"))
 	}
-	coord, err := cli.ParseSite(args[0], c.sites)
+	coord, err := cli.ParseSite(args[0], c.mgr.Sites())
 	if err != nil {
 		fatal(err)
 	}
@@ -169,12 +155,11 @@ func (c *controller) txn(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	id := core.TxnID(time.Now().UnixNano())
-	reply, err := c.caller.Call(coord, &msg.ClientTxn{Txn: id, Ops: ops})
+	// Wall-clock IDs keep versions monotone across raidctl invocations.
+	res, err := c.mgr.ExecTxn(coord, core.TxnID(time.Now().UnixNano()), ops)
 	if err != nil {
 		fatal(err)
 	}
-	res := reply.Body.(*msg.TxnResult)
 	fmt.Println(cli.FormatResult(res))
 	if !res.Committed {
 		os.Exit(1)
@@ -185,7 +170,7 @@ func (c *controller) oneSite(args []string, fn func(core.SiteID)) {
 	if len(args) != 1 {
 		fatal(fmt.Errorf("expected one site id"))
 	}
-	id, err := cli.ParseSite(args[0], c.sites)
+	id, err := cli.ParseSite(args[0], c.mgr.Sites())
 	if err != nil {
 		fatal(err)
 	}
@@ -193,26 +178,25 @@ func (c *controller) oneSite(args []string, fn func(core.SiteID)) {
 }
 
 func (c *controller) fail(id core.SiteID) {
-	if _, err := c.caller.Call(id, &msg.FailSim{}); err != nil {
+	if err := c.mgr.Fail(id); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s is down\n", id)
 }
 
 func (c *controller) recover(id core.SiteID) {
-	reply, err := c.caller.Call(id, &msg.RecoverSim{})
+	st, err := c.mgr.Recover(id)
 	if err != nil {
+		if errors.Is(err, cluster.ErrRecoveryBlocked) && st != nil {
+			fatal(fmt.Errorf("recovery blocked: %s is %s", id, st.State))
+		}
 		fatal(err)
-	}
-	st := reply.Body.(*msg.StatusResp)
-	if st.State != core.StatusUp {
-		fatal(fmt.Errorf("recovery blocked: %s is %s", id, st.State))
 	}
 	fmt.Printf("%s is up (session %d)\n", id, st.Session)
 }
 
 func (c *controller) audit() {
-	report, err := cluster.Audit(c)
+	report, err := c.mgr.Audit()
 	if err != nil {
 		fatal(err)
 	}
@@ -223,8 +207,8 @@ func (c *controller) audit() {
 }
 
 func (c *controller) shutdown() {
-	for i := 0; i < c.sites; i++ {
-		if _, err := c.caller.Call(core.SiteID(i), &msg.Shutdown{}); err != nil {
+	for i := 0; i < c.mgr.Sites(); i++ {
+		if err := c.mgr.Shutdown(core.SiteID(i)); err != nil {
 			fmt.Printf("site %d: %v\n", i, err)
 			continue
 		}

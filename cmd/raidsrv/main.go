@@ -4,11 +4,20 @@
 // single machine.
 //
 //	raidsrv -id 0 -addrs "0=:7000,1=:7001,m=:7009" -items 50
-//	raidsrv -id 1 -addrs "0=:7000,1=:7001,m=:7009" -items 50
+//	raidsrv -id 1 -config cluster.json
 //
-// Every process must receive the same -addrs map (numeric keys are site
-// IDs, "m" is the managing site, which cmd/raidctl binds). The process
-// exits when the managing site sends a Shutdown, or on SIGINT/SIGTERM.
+// Every process must receive the same configuration: either the same flag
+// values or, better, the same -config JSON file (one deploy.ClusterSpec —
+// the artifact the process fabric writes and raidctl reads too). Numeric
+// address-map keys are site IDs, "m" is the managing site.
+//
+// -down boots the site in the failed state after WAL replay: the shape of
+// a crash restart. The process loads whatever the log holds, resumes its
+// persisted session number, and waits deaf for the managing site's
+// recovery order, which runs the ordinary type-1 rejoin.
+//
+// The process exits when the managing site sends a Shutdown, or on
+// SIGINT/SIGTERM.
 package main
 
 import (
@@ -19,66 +28,87 @@ import (
 	"syscall"
 
 	"minraid/internal/core"
-	"minraid/internal/netcfg"
-	"minraid/internal/policy"
+	"minraid/internal/deploy"
 	"minraid/internal/site"
 	"minraid/internal/storage"
 	"minraid/internal/transport"
 )
 
 func main() {
+	spec := deploy.BindFlags(flag.CommandLine)
 	var (
-		id         = flag.Int("id", 0, "this site's id")
-		addrs      = flag.String("addrs", "", "address map: 0=host:port,1=host:port,...,m=host:port")
-		items      = flag.Int("items", 50, "database size in data items")
-		pol        = flag.String("policy", "rowaa", "replication policy: rowaa, rowa, quorum")
-		walDir     = flag.String("wal", "", "directory for a durable WAL store (empty: in-memory)")
-		concurrent = flag.Int("concurrent", 0, "max interleaved txns per site (0/1 = serial, as the paper)")
+		id       = flag.Int("id", 0, "this site's id")
+		confPath = flag.String("config", "", "load the cluster spec from a JSON file (overrides the spec flags)")
+		down     = flag.Bool("down", false, "boot in the failed state (crash restart); rejoin via the managing site's recover order")
 	)
 	flag.Parse()
 
-	addrMap, sites, err := netcfg.ParseAddrs(*addrs)
+	if *confPath != "" {
+		loaded, err := deploy.LoadSpec(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec = loaded
+	} else if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+
+	addrMap, sites, err := spec.AddrMap()
 	if err != nil {
 		fatal(err)
 	}
 	if *id < 0 || *id >= sites {
 		fatal(fmt.Errorf("site id %d out of range 0..%d", *id, sites-1))
 	}
-	p, ok := policy.ByName(*pol)
-	if !ok {
-		fatal(fmt.Errorf("unknown policy %q", *pol))
-	}
-
 	self := core.SiteID(*id)
+
 	net, err := transport.NewTCP(transport.TCPConfig{Self: self, Addrs: addrMap})
 	if err != nil {
 		fatal(err)
 	}
 	defer net.Close()
 
-	var store storage.Store
-	if *walDir != "" {
-		store, err = storage.OpenWAL(storage.WALOptions{Dir: *walDir, Items: *items})
+	cfg, err := spec.SiteConfig(self)
+	if err != nil {
+		fatal(err)
+	}
+	if walDir := spec.WALDir(self); walDir != "" {
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			fatal(err)
+		}
+		store, err := storage.OpenWAL(storage.WALOptions{Dir: walDir, Items: spec.Items})
 		if err != nil {
 			fatal(err)
 		}
 		defer store.Close()
+		cfg.Store = store
+		// Crash-restart state: resume the persisted session so the rejoin
+		// announcement is newer than any stale failure report about the
+		// previous incarnation, and persist each bump before announcing.
+		session, err := deploy.LoadSession(walDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Session = session
+		cfg.PersistSession = func(n core.SessionNum) error {
+			return deploy.SaveSession(walDir, n)
+		}
+	} else if *down {
+		fatal(fmt.Errorf("-down requires a WAL store (-wal): a crash restart without durable state cannot rejoin"))
 	}
+	cfg.StartDown = *down
 
-	s, err := site.New(site.Config{
-		ID:             self,
-		Sites:          sites,
-		Items:          *items,
-		Policy:         p,
-		Store:          store,
-		ConcurrentTxns: *concurrent,
-	}, net)
+	s, err := site.New(cfg, net)
 	if err != nil {
 		fatal(err)
 	}
 	s.Start()
-	fmt.Printf("raidsrv: %s listening on %s (%d sites, %d items, policy %s)\n",
-		self, net.Addr(), sites, *items, p.Name())
+	state := "up"
+	if *down {
+		state = "down (awaiting recovery order)"
+	}
+	fmt.Printf("raidsrv: %s listening on %s (%d sites, %d items, policy %s, %s)\n",
+		self, net.Addr(), sites, spec.Items, cfg.Policy.Name(), state)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

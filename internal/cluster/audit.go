@@ -54,7 +54,7 @@ type Prober interface {
 // Replicas implements Prober. It returns the managing site's current
 // view of the placement — cfg.Replicas as configured, updated when
 // Rebalance re-homes a lost site's copies.
-func (c *Cluster) Replicas() *core.ReplicaMap {
+func (c *Manager) Replicas() *core.ReplicaMap {
 	return c.replicas.Load()
 }
 
@@ -66,7 +66,7 @@ func (c *Cluster) Replicas() *core.ReplicaMap {
 //
 // The audit is driven from the managing site using dumps and status
 // probes. It should be run while no transactions are in flight.
-func (c *Cluster) Audit() (AuditReport, error) { return Audit(c) }
+func (c *Manager) Audit() (AuditReport, error) { return Audit(c) }
 
 // AuditQuorum verifies the quorum-consensus invariant: for every item,
 // at least degree−readQuorum(degree)+1 of its hosting copies hold the
@@ -79,11 +79,11 @@ func (c *Cluster) Audit() (AuditReport, error) { return Audit(c) }
 // produce. Run it fully healed with every site up; quorum holds its
 // invariant through partitions (the minority side aborts), but a down
 // site hides copies this audit must count.
-func (c *Cluster) AuditQuorum() (AuditReport, error) {
-	if c.cfg.Policy == nil {
+func (c *Manager) AuditQuorum() (AuditReport, error) {
+	if c.pol == nil {
 		return AuditReport{}, fmt.Errorf("cluster: quorum audit needs a quorum policy")
 	}
-	return AuditQuorum(c, c.cfg.Policy.ReadQuorum)
+	return AuditQuorum(c, c.pol.ReadQuorum)
 }
 
 // AuditQuorum runs the quorum-visibility audit through any Prober.

@@ -2,19 +2,19 @@
 // database sites on one memory transport plus the managing site, which
 // "provide[s] interactive control of system actions ... used to cause
 // sites to fail and recover and to initiate a database transaction to a
-// site" (§1.2).
+// site" (§1.2). The managing-site control plane itself — transaction
+// injection, fail/recover orders, audits, reconciliation, repair — lives
+// in Manager, which is pure request/response messaging and also drives
+// fleets of raidsrv OS processes over real TCP (internal/deploy).
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"minraid/internal/core"
 	"minraid/internal/metrics"
-	"minraid/internal/msg"
 	"minraid/internal/policy"
 	"minraid/internal/site"
 	"minraid/internal/storage"
@@ -95,8 +95,11 @@ type Config struct {
 	TxnIDBase uint64
 }
 
-// Cluster is a running mini-RAID system.
+// Cluster is a running mini-RAID system: the sites, the wire they attach
+// to, and the embedded Manager that is the managing site's control plane.
 type Cluster struct {
+	*Manager
+
 	cfg Config
 	// net is the underlying memory transport (nil on the TCP fabric);
 	// network is what sites attach to — net itself, the chaos decorator
@@ -107,19 +110,6 @@ type Cluster struct {
 	fabric  *tcpFabric
 	sites   []*site.Site
 	mgr     transport.Endpoint
-	caller  *transport.Caller
-	tracer  *trace.Recorder
-
-	nextTxn   atomic.Uint64
-	nextAdmin atomic.Uint64
-
-	// replicas is the managing site's view of the current placement. It
-	// starts as cfg.Replicas (nil: full replication) and is replaced,
-	// copy-on-write, when Rebalance re-homes a permanently lost site's
-	// copies. removed is the bitmask of sites Rebalance retired; they can
-	// never recover (their copies now live elsewhere).
-	replicas atomic.Pointer[core.ReplicaMap]
-	removed  atomic.Uint64
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -139,12 +129,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = trace.NewRecorder(0)
 	}
-	c := &Cluster{cfg: cfg, tracer: cfg.Tracer}
-	if cfg.Replicas != nil {
-		c.replicas.Store(cfg.Replicas)
-	} else {
-		c.replicas.Store(core.FullReplication(cfg.Items, cfg.Sites))
-	}
+	c := &Cluster{cfg: cfg}
 	switch cfg.Transport {
 	case "", "memory":
 		net := transport.NewMemory(transport.MemoryConfig{Sites: cfg.Sites, Delay: cfg.Delay})
@@ -163,7 +148,6 @@ func New(cfg Config) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("cluster: unknown transport %q", cfg.Transport)
 	}
-	c.nextTxn.Store(cfg.TxnIDBase)
 
 	for i := 0; i < cfg.Sites; i++ {
 		id := core.SiteID(i)
@@ -206,7 +190,19 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.mgr = mgr
-	c.caller = transport.NewCaller(mgr, cfg.ManagerTimeout)
+	c.Manager, err = NewManager(transport.NewCaller(mgr, cfg.ManagerTimeout), ManagerConfig{
+		Sites:     cfg.Sites,
+		Items:     cfg.Items,
+		Policy:    cfg.Policy,
+		Timeout:   cfg.ManagerTimeout,
+		Replicas:  cfg.Replicas,
+		Tracer:    cfg.Tracer,
+		TxnIDBase: cfg.TxnIDBase,
+	})
+	if err != nil {
+		c.network.Close()
+		return nil, err
+	}
 
 	for _, s := range c.sites {
 		s.Start()
@@ -240,28 +236,11 @@ func (c *Cluster) Close() {
 	})
 }
 
-// Sites returns the number of database sites.
-func (c *Cluster) Sites() int { return c.cfg.Sites }
-
-// Items returns the database size.
-func (c *Cluster) Items() int { return c.cfg.Items }
-
 // Site returns the site object (for in-process metrics access).
 func (c *Cluster) Site(id core.SiteID) *site.Site { return c.sites[id] }
 
 // Registry returns site id's metrics registry.
 func (c *Cluster) Registry(id core.SiteID) *metrics.Registry { return c.sites[id].Metrics() }
-
-// Tracer returns the cluster-wide trace recorder.
-func (c *Cluster) Tracer() *trace.Recorder { return c.tracer }
-
-// adminTrace allocates a trace ID for a managing-site admin operation
-// (fail/recover). Admin IDs live above trace.AdminBase so they never
-// collide with transaction IDs, and they draw from their own counter so
-// tracing does not perturb the transaction numbering experiments rely on.
-func (c *Cluster) adminTrace() uint64 {
-	return uint64(trace.AdminBase) + c.nextAdmin.Add(1)
-}
 
 // MessagesSent returns the network-wide message count (memory transport
 // only; the TCP fabric reports 0 — use the tracer's per-kind counts).
@@ -323,135 +302,4 @@ func (c *Cluster) Partition(groupA, groupB []core.SiteID, down bool) {
 			c.SetLinkDown(b, a, down)
 		}
 	}
-}
-
-// NextTxnID allocates the next transaction identifier. The managing site
-// numbers transactions sequentially from TxnIDBase+1 (from 1, as the
-// paper does, unless a multi-epoch soak carries the counter forward).
-func (c *Cluster) NextTxnID() core.TxnID { return core.TxnID(c.nextTxn.Add(1)) }
-
-// LastTxnID returns the highest transaction ID allocated so far (or
-// TxnIDBase if none were). A persisting soak feeds this into the next
-// epoch's TxnIDBase so on-disk item versions stay monotone.
-func (c *Cluster) LastTxnID() uint64 { return c.nextTxn.Load() }
-
-// Errors returned by the managing-site operations.
-var (
-	// ErrNoResponse means the target site never answered — it is down or
-	// the call outlived ManagerTimeout.
-	ErrNoResponse = errors.New("cluster: site did not respond")
-	// ErrRecoveryBlocked means recovery failed because no operational
-	// site could supply the session vector and fail-locks.
-	ErrRecoveryBlocked = errors.New("cluster: recovery blocked: no operational donor")
-	// ErrSiteRemoved means the site was permanently retired by Rebalance
-	// and can never rejoin: its copies have been re-homed.
-	ErrSiteRemoved = errors.New("cluster: site permanently removed by rebalance")
-)
-
-// Exec sends one database transaction to the given coordinator and waits
-// for its outcome. The transaction ID is allocated automatically.
-func (c *Cluster) Exec(coordinator core.SiteID, ops []core.Op) (*msg.TxnResult, error) {
-	return c.ExecTxn(coordinator, c.NextTxnID(), ops)
-}
-
-// ExecTxn sends a database transaction with an explicit ID.
-func (c *Cluster) ExecTxn(coordinator core.SiteID, id core.TxnID, ops []core.Op) (*msg.TxnResult, error) {
-	return c.ExecTxnTimeout(coordinator, id, ops, c.cfg.ManagerTimeout)
-}
-
-// ExecTxnTimeout is ExecTxn with a per-call reply deadline (non-positive
-// falls back to ManagerTimeout). Background repair traffic — the
-// scrubber's read batches — uses it so a transaction racing a Fail order
-// stalls for a bounded wait, not the full manager timeout.
-func (c *Cluster) ExecTxnTimeout(coordinator core.SiteID, id core.TxnID, ops []core.Op, timeout time.Duration) (*msg.TxnResult, error) {
-	if timeout <= 0 {
-		timeout = c.cfg.ManagerTimeout
-	}
-	start := time.Now()
-	reply, err := c.caller.CallTimeoutT(uint64(id), coordinator, &msg.ClientTxn{Txn: id, Ops: ops}, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s (txn %d): %v", ErrNoResponse, coordinator, id, err)
-	}
-	res, ok := reply.Body.(*msg.TxnResult)
-	if !ok {
-		return nil, fmt.Errorf("cluster: unexpected reply %s to txn %d", reply.Body.Kind(), id)
-	}
-	c.tracer.Emit(trace.ID(id), core.ManagingSite, trace.PhaseInject,
-		fmt.Sprintf("coord=%d ops=%d", coordinator, len(ops)), start)
-	return res, nil
-}
-
-// Fail orders a site to simulate failure and waits for the acknowledgement.
-func (c *Cluster) Fail(id core.SiteID) error {
-	if _, err := c.caller.CallT(c.adminTrace(), id, &msg.FailSim{}); err != nil {
-		return fmt.Errorf("%w: failing %s: %v", ErrNoResponse, id, err)
-	}
-	return nil
-}
-
-// Recover orders a failed site to recover and waits until recovery
-// completes (the site replies with its status once the type-1 control
-// transaction has finished). ErrRecoveryBlocked is returned when no
-// operational site could act as donor. A site retired by Rebalance is
-// permanently removed — its copies live elsewhere now — and is refused
-// with ErrSiteRemoved.
-func (c *Cluster) Recover(id core.SiteID) (*msg.StatusResp, error) {
-	if c.removed.Load()&(1<<id) != 0 {
-		return nil, fmt.Errorf("%w: %s", ErrSiteRemoved, id)
-	}
-	reply, err := c.caller.CallT(c.adminTrace(), id, &msg.RecoverSim{})
-	if err != nil {
-		return nil, fmt.Errorf("%w: recovering %s: %v", ErrNoResponse, id, err)
-	}
-	st, ok := reply.Body.(*msg.StatusResp)
-	if !ok {
-		return nil, fmt.Errorf("cluster: unexpected reply %s to recover", reply.Body.Kind())
-	}
-	if st.State != core.StatusUp {
-		return st, ErrRecoveryBlocked
-	}
-	return st, nil
-}
-
-// Status queries a site's replicated-copy-control state. Works even on a
-// failed site (out-of-band instrumentation).
-func (c *Cluster) Status(id core.SiteID, includeFailLocks bool) (*msg.StatusResp, error) {
-	reply, err := c.caller.Call(id, &msg.StatusReq{IncludeFailLocks: includeFailLocks})
-	if err != nil {
-		return nil, fmt.Errorf("%w: status of %s: %v", ErrNoResponse, id, err)
-	}
-	st, ok := reply.Body.(*msg.StatusResp)
-	if !ok {
-		return nil, fmt.Errorf("cluster: unexpected reply %s to status", reply.Body.Kind())
-	}
-	return st, nil
-}
-
-// Dump returns a site's versioned database copy: every item under full
-// replication, only the hosted items under a partial map (the audits
-// reconstruct placement-aware views from the sparse dump, keeping audit
-// payloads O(items×degree) instead of O(items×sites)).
-func (c *Cluster) Dump(id core.SiteID) ([]core.ItemVersion, error) {
-	reply, err := c.caller.Call(id, &msg.DumpReq{First: 0, Last: core.ItemID(c.cfg.Items - 1), HostedOnly: true})
-	if err != nil {
-		return nil, fmt.Errorf("%w: dump of %s: %v", ErrNoResponse, id, err)
-	}
-	resp, ok := reply.Body.(*msg.DumpResp)
-	if !ok {
-		return nil, fmt.Errorf("cluster: unexpected reply %s to dump", reply.Body.Kind())
-	}
-	return resp.Items, nil
-}
-
-// FailLockCount returns, as observed by observer's table, how many items
-// are fail-locked for target — the quantity plotted in the paper's figures.
-func (c *Cluster) FailLockCount(observer, target core.SiteID) (int, error) {
-	st, err := c.Status(observer, false)
-	if err != nil {
-		return 0, err
-	}
-	if int(target) >= len(st.FailLockCounts) {
-		return 0, fmt.Errorf("cluster: target %s out of range", target)
-	}
-	return int(st.FailLockCounts[target]), nil
 }

@@ -55,13 +55,13 @@ const rehostChunk = 4096
 // fully operational while Rebalance runs: the placement swap is not
 // atomic across sites, and a site that misses the CtrlRehost would keep
 // auditing (and fail-lock maintaining) against the old map.
-func (c *Cluster) Rebalance(lost core.SiteID) (RebalanceReport, error) {
+func (c *Manager) Rebalance(lost core.SiteID) (RebalanceReport, error) {
 	rep := RebalanceReport{Lost: lost, PerSite: map[core.SiteID]int{}}
-	if int(lost) >= c.cfg.Sites {
+	if int(lost) >= c.sites {
 		return rep, fmt.Errorf("cluster: rebalance: site %s out of range", lost)
 	}
-	if c.cfg.Policy != nil && !c.cfg.Policy.UsesFailLocks() {
-		return rep, fmt.Errorf("cluster: rebalance requires a fail-lock policy; a re-homed copy enters stale and %s cannot track that", c.cfg.Policy.Name())
+	if c.pol != nil && !c.pol.UsesFailLocks() {
+		return rep, fmt.Errorf("cluster: rebalance requires a fail-lock policy; a re-homed copy enters stale and %s cannot track that", c.pol.Name())
 	}
 	cur := c.Replicas()
 	if cur.IsFull() {
@@ -73,8 +73,8 @@ func (c *Cluster) Rebalance(lost core.SiteID) (RebalanceReport, error) {
 
 	// Census: the lost site must be down, every other site up (a site
 	// that misses the placement swap would diverge from the new map).
-	up := make([]bool, c.cfg.Sites)
-	for i := 0; i < c.cfg.Sites; i++ {
+	up := make([]bool, c.sites)
+	for i := 0; i < c.sites; i++ {
 		id := core.SiteID(i)
 		st, err := c.Status(id, false)
 		if err != nil {
@@ -93,8 +93,8 @@ func (c *Cluster) Rebalance(lost core.SiteID) (RebalanceReport, error) {
 	// least-loaded surviving site not already hosting it (lowest ID on
 	// ties, so the plan is deterministic). Loads update as copies are
 	// placed, keeping the final placement balanced.
-	load := make(map[core.SiteID]int, c.cfg.Sites)
-	for i := 0; i < c.cfg.Sites; i++ {
+	load := make(map[core.SiteID]int, c.sites)
+	for i := 0; i < c.sites; i++ {
 		if id := core.SiteID(i); id != lost {
 			load[id] = cur.HostedCount(id)
 		}
@@ -102,13 +102,13 @@ func (c *Cluster) Rebalance(lost core.SiteID) (RebalanceReport, error) {
 	next := cur.Clone()
 	var items []core.ItemID
 	var newHosts []core.SiteID
-	for item := 0; item < c.cfg.Items; item++ {
+	for item := 0; item < c.items; item++ {
 		id := core.ItemID(item)
 		if !cur.IsHost(id, lost) {
 			continue
 		}
-		cands := make([]core.SiteID, 0, c.cfg.Sites)
-		for i := 0; i < c.cfg.Sites; i++ {
+		cands := make([]core.SiteID, 0, c.sites)
+		for i := 0; i < c.sites; i++ {
 			if s := core.SiteID(i); s != lost && !cur.IsHost(id, s) {
 				cands = append(cands, s)
 			}
@@ -141,7 +141,7 @@ func (c *Cluster) Rebalance(lost core.SiteID) (RebalanceReport, error) {
 			end = len(items)
 		}
 		body := &msg.CtrlRehost{Lost: lost, Items: items[start:end], NewHosts: newHosts[start:end]}
-		for i := 0; i < c.cfg.Sites; i++ {
+		for i := 0; i < c.sites; i++ {
 			id := core.SiteID(i)
 			if id == lost {
 				continue

@@ -80,9 +80,9 @@ func (r ReconcileReport) String() string {
 // reconciliation degenerates to the vector merge. Call it only on a
 // healed network — with links still cut the repair cycles cannot
 // converge.
-func (c *Cluster) ReconcileSplitBrain(trueUp []bool, ackTimeout time.Duration) (ReconcileReport, error) {
+func (c *Manager) ReconcileSplitBrain(trueUp []bool, ackTimeout time.Duration) (ReconcileReport, error) {
 	var rep ReconcileReport
-	sites, items := c.cfg.Sites, c.cfg.Items
+	sites, items := c.sites, c.items
 
 	replicas := c.Replicas()
 	type view struct {
@@ -207,7 +207,7 @@ func (c *Cluster) ReconcileSplitBrain(trueUp []bool, ackTimeout time.Duration) (
 	// for policies that track staleness with fail-locks. Quorum sites
 	// keep stale copies legitimately (reads vote past them), so their
 	// tables stay untouched and reconciliation is just the vector merge.
-	usesFailLocks := c.cfg.Policy == nil || c.cfg.Policy.UsesFailLocks()
+	usesFailLocks := c.pol == nil || c.pol.UsesFailLocks()
 	if !usesFailLocks {
 		up := make([]bool, sites)
 		for i := 0; i < sites; i++ {
@@ -255,7 +255,7 @@ func (c *Cluster) ReconcileSplitBrain(trueUp []bool, ackTimeout time.Duration) (
 
 // installLocks sends one special fail-lock transaction editing holder's
 // table: the bits of site over items, set or cleared.
-func (c *Cluster) installLocks(holder, site core.SiteID, items []core.ItemID, set bool) error {
+func (c *Manager) installLocks(holder, site core.SiteID, items []core.ItemID, set bool) error {
 	if len(items) == 0 {
 		return nil
 	}
@@ -284,18 +284,18 @@ func (c *Cluster) installLocks(holder, site core.SiteID, items []core.ItemID, se
 // donor refuses a copy request while its own copy of the item is
 // fail-locked, so divergent tables can chain heals (each pass unblocks
 // exactly one more donor) arbitrarily deep, one pass per link.
-func (c *Cluster) DrainFailLocks(trueUp []bool, maxOps int) (copiers, remaining int, err error) {
+func (c *Manager) DrainFailLocks(trueUp []bool, maxOps int) (copiers, remaining int, err error) {
 	if maxOps <= 0 {
 		maxOps = 8
 	}
 	// Every productive pass clears at least one (item, site) lock, so the
 	// lock population bounds the passes; the cap only guards the loop
 	// against an unforeseen live-lock.
-	maxPasses := c.cfg.Sites*c.cfg.Items + 2
+	maxPasses := c.sites*c.items + 2
 	prevTotal := -1
 	for pass := 0; pass < maxPasses; pass++ {
 		total, passCopiers := 0, 0
-		for i := 0; i < c.cfg.Sites; i++ {
+		for i := 0; i < c.sites; i++ {
 			if !trueUp[i] {
 				continue
 			}
@@ -344,9 +344,9 @@ func (c *Cluster) DrainFailLocks(trueUp []bool, maxOps int) (copiers, remaining 
 // hold on their own copies — the population DrainFailLocks drains and the
 // scrubber heals; zero on a fully-recovered, converged system. Locks for
 // genuinely down sites are correct state and are not counted.
-func (c *Cluster) FailLocksRemaining(trueUp []bool) (int, error) {
+func (c *Manager) FailLocksRemaining(trueUp []bool) (int, error) {
 	remaining := 0
-	for i := 0; i < c.cfg.Sites; i++ {
+	for i := 0; i < c.sites; i++ {
 		if !trueUp[i] {
 			continue
 		}
@@ -364,7 +364,7 @@ func (c *Cluster) FailLocksRemaining(trueUp []bool) (int, error) {
 // hold cannot be refreshed by reading there (the demand-copier path only
 // covers hosted items), and a bit for a non-hosted copy is an audit
 // violation, not drainable work.
-func (c *Cluster) lockedItems(id core.SiteID) ([]core.ItemID, error) {
+func (c *Manager) lockedItems(id core.SiteID) ([]core.ItemID, error) {
 	st, err := c.Status(id, true)
 	if err != nil {
 		return nil, err

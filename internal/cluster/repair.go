@@ -12,7 +12,7 @@ import (
 // lost in transit (the recovery multicast and its replies travel
 // site-to-site links, which may be chaotic). Returns the number of
 // blocked attempts retried.
-func (c *Cluster) RecoverWithRetry(id core.SiteID, ackTimeout time.Duration) (int, error) {
+func (c *Manager) RecoverWithRetry(id core.SiteID, ackTimeout time.Duration) (int, error) {
 	const attempts = 8
 	var err error
 	for i := 0; i < attempts; i++ {
@@ -36,7 +36,7 @@ func (c *Cluster) RecoverWithRetry(id core.SiteID, ackTimeout time.Duration) (in
 // invariant holds across the repair. trueUp is the caller's ground truth
 // of which sites have not been ordered to fail; the managing site always
 // has it, since its orders are the only source of real failures.
-func (c *Cluster) RepairFalseSuspicions(trueUp []bool, ackTimeout time.Duration) (int, error) {
+func (c *Manager) RepairFalseSuspicions(trueUp []bool, ackTimeout time.Duration) (int, error) {
 	return c.RepairFalseSuspicionsWhere(trueUp, nil, ackTimeout)
 }
 
@@ -45,7 +45,7 @@ func (c *Cluster) RepairFalseSuspicions(trueUp []bool, ackTimeout time.Duration)
 // partition-aware soak excludes pairs touched by the active network
 // episode: their suspicion is legitimate evidence of the cut, not a false
 // positive, and resolving it must wait for heal-time reconciliation.
-func (c *Cluster) RepairFalseSuspicionsWhere(trueUp []bool, eligible func(observer, suspect core.SiteID) bool, ackTimeout time.Duration) (int, error) {
+func (c *Manager) RepairFalseSuspicionsWhere(trueUp []bool, eligible func(observer, suspect core.SiteID) bool, ackTimeout time.Duration) (int, error) {
 	repairs := 0
 	maxRounds := 2 * len(trueUp)
 	for round := 0; round < maxRounds; round++ {

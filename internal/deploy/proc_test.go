@@ -1,0 +1,219 @@
+package deploy
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"minraid/internal/cluster"
+	"minraid/internal/core"
+	"minraid/internal/workload"
+)
+
+// The process-fabric tests exec real raidsrv children and deliver real
+// SIGKILLs, so they are skipped under -short and on non-Linux platforms.
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	builtBin  string
+	buildErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// procBinary builds raidsrv once for the whole package and returns its
+// path, skipping the calling test where process tests cannot run.
+func procBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("process fabric test skipped in -short mode")
+	}
+	if runtime.GOOS != "linux" {
+		t.Skip("process fabric test requires SIGKILL semantics; linux only")
+	}
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "minraid-proc-test-")
+		if buildErr != nil {
+			return
+		}
+		builtBin, buildErr = BuildRaidsrv(buildDir)
+	})
+	if buildErr != nil {
+		t.Fatalf("building raidsrv: %v", buildErr)
+	}
+	return builtBin
+}
+
+// TestProcFabricKillMidCommitRestartConverges is the crash-real core of the
+// deployment API: a raidsrv child is SIGKILLed while commit traffic is in
+// flight (so the kill lands inside some transaction's commit window), the
+// survivors keep committing against the dead site, and a re-exec on the
+// same WAL directory — WAL replay, persisted session, type-1 recovery —
+// converges to an audit-clean fleet.
+func TestProcFabricKillMidCommitRestartConverges(t *testing.T) {
+	bin := procBinary(t)
+	addrs, err := FreeLoopbackAddrs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &ClusterSpec{
+		Addrs:      addrs,
+		Items:      16,
+		AckTimeout: Duration(150 * time.Millisecond),
+	}
+	fab, err := NewProcFabric(ProcConfig{Spec: spec, Binary: bin, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	mgr := fab.Manager()
+
+	write := func(coord core.SiteID, item int) (bool, error) {
+		id := mgr.NextTxnID()
+		res, err := mgr.ExecTxn(coord, id, []core.Op{
+			core.Write(core.ItemID(item%spec.Items), workload.Payload(id, core.ItemID(item%spec.Items))),
+		})
+		if err != nil {
+			return false, err
+		}
+		return res.Committed, nil
+	}
+
+	// Warm up: committed writes land durable state in every WAL.
+	for i := 0; i < 5; i++ {
+		ok, err := write(0, i)
+		if err != nil || !ok {
+			t.Fatalf("warm-up write %d: committed=%v err=%v", i, ok, err)
+		}
+	}
+
+	// Hammer writes from the managing site while the kill is delivered, so
+	// SIGKILL interleaves with live prepare/commit windows. Aborts are
+	// expected and tolerated here; consistency is what the audit checks.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			write(0, i) //nolint:errcheck
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := fab.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The survivors must reach commit again with site 1 dead (failure
+	// announcement, fail-locks, two-site ROWAA).
+	committed := false
+	for i := 0; i < 20 && !committed; i++ {
+		committed, _ = write(0, i)
+	}
+	if !committed {
+		t.Fatalf("survivors never committed with site 1 dead (logs in %s)", fab.LogPath(1))
+	}
+
+	// Re-exec site 1 against its original WAL directory. The recovery
+	// order can come back blocked while the failure announcement settles;
+	// retry like the soak driver does.
+	if _, err := fab.Restart(1); err != nil {
+		for i := 0; i < 10 && errors.Is(err, cluster.ErrRecoveryBlocked); i++ {
+			time.Sleep(150 * time.Millisecond)
+			_, err = mgr.Recover(1)
+		}
+		if err != nil {
+			t.Fatalf("restart site 1: %v (logs in %s)", err, fab.LogPath(1))
+		}
+	}
+
+	// Post-recovery traffic touches the rejoined site, then drain any
+	for i := 0; i < 5; i++ {
+		if ok, err := write(core.SiteID(i%3), i); err != nil || !ok {
+			t.Fatalf("post-recovery write %d: committed=%v err=%v", i, ok, err)
+		}
+	}
+	// fail-locks the kill left behind and reconcile any stray conservative
+	// lock bits a SIGKILL mid-fan-out can strand at a single survivor
+	// (same epilogue the proc soak driver runs).
+	trueUp := []bool{true, true, true}
+	for pass := 0; pass < 3; pass++ {
+		_, remaining, err := mgr.DrainFailLocks(trueUp, spec.Items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := mgr.ReconcileSplitBrain(trueUp, 150*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remaining == 0 && rep.LocksSet == 0 {
+			break
+		}
+	}
+	report, err := mgr.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("audit after SIGKILL+WAL-replay restart:\n%s", report)
+	}
+}
+
+// TestProcFabricDownBootNeedsRecovery pins the restart boot contract: a
+// child exec'd with -down must come up in the recovering-wait state, not
+// silently rejoin as up.
+func TestProcFabricDownBootNeedsRecovery(t *testing.T) {
+	bin := procBinary(t)
+	addrs, err := FreeLoopbackAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &ClusterSpec{Addrs: addrs, Items: 8, AckTimeout: Duration(150 * time.Millisecond)}
+	fab, err := NewProcFabric(ProcConfig{Spec: spec, Binary: bin, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	mgr := fab.Manager()
+
+	if err := fab.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Wait(0); err == nil {
+		t.Error("SIGKILLed child reported clean exit")
+	}
+	if _, err := fab.Restart(0); err != nil {
+		for i := 0; i < 10 && errors.Is(err, cluster.ErrRecoveryBlocked); i++ {
+			time.Sleep(150 * time.Millisecond)
+			_, err = mgr.Recover(0)
+		}
+		if err != nil {
+			t.Fatalf("restart: %v (logs in %s)", err, fab.LogPath(0))
+		}
+	}
+	st, err := mgr.StatusTimeout(0, false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != core.StatusUp {
+		t.Fatalf("site 0 after restart+recovery: state %v, want up", st.State)
+	}
+}

@@ -1,0 +1,66 @@
+package deploy
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"minraid/internal/core"
+)
+
+// sessionFile is the name of the per-site session record inside the WAL
+// directory. Session numbers must be monotone across real crashes: the
+// stale-failure guard at every site ignores a CtrlFail carrying a session
+// older than the vector's entry, so a restarted site that re-announced an
+// old session could have its recovery undone by a delayed failure report.
+// The site persists the bumped session here before the type-1
+// announcement (site.Config.PersistSession); a crash-restarted raidsrv
+// resumes from it.
+const sessionFile = "session"
+
+// LoadSession reads the persisted session number from a site's WAL
+// directory. A missing file is a first boot and returns 0 (the site
+// defaults it to the paper's initial session 1).
+func LoadSession(walDir string) (core.SessionNum, error) {
+	b, err := os.ReadFile(filepath.Join(walDir, sessionFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("deploy: read session: %w", err)
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("deploy: corrupt session file %s: %w", filepath.Join(walDir, sessionFile), err)
+	}
+	return core.SessionNum(n), nil
+}
+
+// SaveSession durably records a site's session number: write to a
+// temporary file, fsync, rename — the same crash-atomicity discipline as
+// the WAL's snapshots, so a kill between the two steps leaves either the
+// old or the new session, never a torn one.
+func SaveSession(walDir string, n core.SessionNum) error {
+	tmp := filepath.Join(walDir, sessionFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("deploy: write session: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", n); err != nil {
+		f.Close()
+		return fmt.Errorf("deploy: write session: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("deploy: sync session: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("deploy: close session: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(walDir, sessionFile)); err != nil {
+		return fmt.Errorf("deploy: install session: %w", err)
+	}
+	return nil
+}

@@ -91,6 +91,19 @@ type SoakConfig struct {
 	// (0 = scrub default).
 	ScrubRate  float64
 	ScrubBatch int
+	// Fabric selects the deployment shape: "" or "local" runs every site
+	// as goroutines of one in-process cluster with the paper's simulated
+	// failures; "proc" execs one raidsrv OS process per site, fails sites
+	// with SIGKILL and recovers them by re-exec + WAL replay + type-1.
+	// Chaos, Partitions, Scrub, Transport and WALDir are in-process
+	// mechanisms and are rejected under "proc".
+	Fabric string
+	// RaidsrvBin is the raidsrv executable for Fabric "proc"; empty
+	// builds it from source into the work dir (go toolchain required).
+	RaidsrvBin string
+	// WorkDir holds the process fabric's spec file, per-site logs and WAL
+	// trees; empty uses a removed-on-exit temp dir (set it to keep logs).
+	WorkDir string
 	// WALDir, when non-empty, persists every site's database in
 	// write-ahead-logged stores under WALDir/seedN/siteK and carries
 	// them across the seed's epochs: an epoch boundary becomes a
@@ -192,6 +205,10 @@ type EpochResult struct {
 	// lifetime counters: table scans, items refreshed, copier
 	// transactions committed on its behalf.
 	ScrubPasses, ScrubItems, ScrubCopiers int
+	// Kills and Restarts count the process fabric's SIGKILLs and
+	// exec-with-replay recoveries (zero on the in-process fabric, whose
+	// failures are the Fail/Recover orders counted elsewhere).
+	Kills, Restarts int
 	// DeferredRecoveries counts scheduled recoveries that found no
 	// reachable donor (recovery blocked, §3.2) and waited for the heal;
 	// SkippedFails counts scheduled failures skipped because a deferred
@@ -325,6 +342,13 @@ func netSeed(chaosSeed int64) int64 {
 // heals the system, and audits copy consistency.
 func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.Fabric {
+	case "", "local":
+	case "proc":
+		return runProcSoak(cfg)
+	default:
+		return nil, fmt.Errorf("experiment: unknown fabric %q (want local or proc)", cfg.Fabric)
+	}
 	res := &SoakResult{
 		AbortReasons:          make(map[string]int),
 		PartitionAbortReasons: make(map[string]int),

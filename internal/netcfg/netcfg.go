@@ -1,9 +1,15 @@
 // Package netcfg parses the address-map syntax shared by the TCP
-// deployment commands (cmd/raidsrv, cmd/raidctl):
+// deployment commands (cmd/raidsrv, cmd/raidctl) and the process fabric
+// (internal/deploy):
 //
 //	0=host:port,1=host:port,...,m=host:port
 //
-// Numeric keys are database sites; "m" is the managing site.
+// Numeric keys are database sites; "m" is the managing site. A site range
+// with a matching port range expands to one entry per site:
+//
+//	0-4=host:7000-7004,m=host:7009
+//
+// is five sites on consecutive ports of one host.
 package netcfg
 
 import (
@@ -19,6 +25,20 @@ import (
 func ParseAddrs(spec string) (map[core.SiteID]string, int, error) {
 	addrs := make(map[core.SiteID]string)
 	maxSite := -1
+	addSite := func(n int, addr string) error {
+		if n < 0 || n >= core.MaxSites {
+			return fmt.Errorf("netcfg: site id %d out of range", n)
+		}
+		id := core.SiteID(n)
+		if _, dup := addrs[id]; dup {
+			return fmt.Errorf("netcfg: duplicate site %d", n)
+		}
+		addrs[id] = addr
+		if n > maxSite {
+			maxSite = n
+		}
+		return nil
+	}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -36,17 +56,29 @@ func ParseAddrs(spec string) (map[core.SiteID]string, int, error) {
 			addrs[core.ManagingSite] = addr
 			continue
 		}
+		if lo, hi, ok := parseRange(key); ok {
+			// A site range pairs with a port range of the same width:
+			// 0-4=host:7000-7004 expands to sites 0..4 on ports 7000..7004.
+			host, plo, phi, err := splitPortRange(addr)
+			if err != nil {
+				return nil, 0, fmt.Errorf("netcfg: range entry %q: %v", part, err)
+			}
+			if hi-lo != phi-plo {
+				return nil, 0, fmt.Errorf("netcfg: range entry %q spans %d sites but %d ports", part, hi-lo+1, phi-plo+1)
+			}
+			for i := 0; lo+i <= hi; i++ {
+				if err := addSite(lo+i, fmt.Sprintf("%s:%d", host, plo+i)); err != nil {
+					return nil, 0, err
+				}
+			}
+			continue
+		}
 		n, err := strconv.Atoi(key)
 		if err != nil || n < 0 || n >= core.MaxSites {
 			return nil, 0, fmt.Errorf("netcfg: bad site id %q", key)
 		}
-		id := core.SiteID(n)
-		if _, dup := addrs[id]; dup {
-			return nil, 0, fmt.Errorf("netcfg: duplicate site %d", n)
-		}
-		addrs[id] = addr
-		if n > maxSite {
-			maxSite = n
+		if err := addSite(n, addr); err != nil {
+			return nil, 0, err
 		}
 	}
 	if maxSite < 0 {
@@ -59,6 +91,41 @@ func ParseAddrs(spec string) (map[core.SiteID]string, int, error) {
 		}
 	}
 	return addrs, sites, nil
+}
+
+// parseRange recognizes "lo-hi" site-range keys (both bounds inclusive).
+func parseRange(key string) (lo, hi int, ok bool) {
+	dash := strings.IndexByte(key, '-')
+	if dash < 1 || dash == len(key)-1 {
+		return 0, 0, false
+	}
+	lo, errLo := strconv.Atoi(key[:dash])
+	hi, errHi := strconv.Atoi(key[dash+1:])
+	if errLo != nil || errHi != nil || lo < 0 || hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// splitPortRange splits "host:P1-P2" into the host and the inclusive port
+// bounds. The port range is whatever follows the last colon, so bracketed
+// IPv6 hosts work unchanged.
+func splitPortRange(addr string) (host string, lo, hi int, err error) {
+	colon := strings.LastIndexByte(addr, ':')
+	if colon < 1 {
+		return "", 0, 0, fmt.Errorf("no port range in %q (want host:P1-P2)", addr)
+	}
+	host, ports := addr[:colon], addr[colon+1:]
+	dash := strings.IndexByte(ports, '-')
+	if dash < 1 || dash == len(ports)-1 {
+		return "", 0, 0, fmt.Errorf("bad port range %q (want P1-P2)", ports)
+	}
+	lo, errLo := strconv.Atoi(ports[:dash])
+	hi, errHi := strconv.Atoi(ports[dash+1:])
+	if errLo != nil || errHi != nil || lo <= 0 || hi < lo || hi > 65535 {
+		return "", 0, 0, fmt.Errorf("bad port range %q", ports)
+	}
+	return host, lo, hi, nil
 }
 
 // Format renders an address map back to the flag syntax, with sites in

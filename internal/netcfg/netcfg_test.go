@@ -58,3 +58,72 @@ func TestFormatRoundTrip(t *testing.T) {
 		t.Errorf("Format = %q, want %q", got, spec)
 	}
 }
+
+func TestParseAddrsRange(t *testing.T) {
+	addrs, sites, err := ParseAddrs("0-4=host:7000-7004,m=host:7009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites != 5 {
+		t.Errorf("sites = %d, want 5", sites)
+	}
+	for i := 0; i < 5; i++ {
+		want := "host:700" + string(rune('0'+i))
+		if addrs[core.SiteID(i)] != want {
+			t.Errorf("site %d = %q, want %q", i, addrs[core.SiteID(i)], want)
+		}
+	}
+	if addrs[core.ManagingSite] != "host:7009" {
+		t.Errorf("manager = %q", addrs[core.ManagingSite])
+	}
+}
+
+func TestParseAddrsRangeMixed(t *testing.T) {
+	// Ranges compose with explicit entries; the whole set must still be
+	// contiguous from 0.
+	addrs, sites, err := ParseAddrs("0=a:1,1-2=b:10-11,m=c:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites != 3 || addrs[1] != "b:10" || addrs[2] != "b:11" {
+		t.Errorf("sites=%d addrs=%v", sites, addrs)
+	}
+}
+
+func TestParseAddrsRangeRoundTrip(t *testing.T) {
+	// A range entry expands to the same map the explicit form parses to,
+	// and Format of the expansion re-parses to the identical map.
+	addrs, sites, err := ParseAddrs("0-2=h:7000-7002,m=h:7009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, sites2, err := ParseAddrs(Format(addrs, sites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites2 != sites {
+		t.Fatalf("sites %d != %d", sites2, sites)
+	}
+	for id, addr := range addrs {
+		if reparsed[id] != addr {
+			t.Errorf("site %s: %q != %q", id, reparsed[id], addr)
+		}
+	}
+}
+
+func TestParseAddrsRangeErrors(t *testing.T) {
+	bad := []string{
+		"0-2=h:7000-7003,m=h:9", // width mismatch: 3 sites, 4 ports
+		"0-2=h:7000,m=h:9",      // no port range
+		"2-0=h:7000-7002",       // descending site range
+		"0-1=h:7001-7000",       // descending port range
+		"0-1=h:0-1",             // port 0
+		"0-1=h:65535-65536",     // port overflow
+		"0-1=h:7000-7001,1=x:1", // duplicate via range overlap
+	}
+	for _, spec := range bad {
+		if _, _, err := ParseAddrs(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -103,6 +103,23 @@ func (s *Site) recoverSite(tr uint64) bool {
 	}
 	s.mu.Unlock()
 
+	// The bumped session must be durable before it is announced: a crash
+	// after the announcement but before the persist would let the next
+	// incarnation re-announce an old session, which survivors (and any
+	// stale failure announcement still in flight) would veto or, worse,
+	// believe. An unpersistable session keeps the site down.
+	if s.cfg.PersistSession != nil {
+		if err := s.cfg.PersistSession(session); err != nil {
+			s.mu.Lock()
+			if s.state == core.StatusRecovering {
+				s.state = core.StatusDown
+				s.vec.MarkDown(s.cfg.ID)
+			}
+			s.mu.Unlock()
+			return false
+		}
+	}
+
 	if len(targets) == 0 {
 		// Single-site system: trivially operational.
 		s.mu.Lock()

@@ -197,6 +197,27 @@ type Config struct {
 	// higher ConcurrentTxns degrees a larger fraction of AckTimeout (or a
 	// larger AckTimeout) reduces spurious contention aborts.
 	LockWaitBudget time.Duration
+	// StartDown boots the site in the failed state: deaf to everything
+	// but managing-site admin traffic until a recover order runs the
+	// type-1 control transaction. A raidsrv process restarted after a
+	// real crash starts down — its database just replayed from the WAL,
+	// but it must rejoin through the ordinary recovery path (new session,
+	// fail-lock set from a donor) before serving anything.
+	StartDown bool
+	// Session is the site's initial session number; zero means 1, the
+	// protocol's starting session. A restarted process passes the last
+	// persisted session so the recovery bump stays monotone over the
+	// site's whole lifetime — survivors' vectors and any in-flight
+	// failure announcements carry the pre-crash session, and a recovery
+	// announced with a smaller one would be vetoed as stale.
+	Session core.SessionNum
+	// PersistSession, when non-nil, is called with the new session number
+	// at every session bump, before the type-1 announcement goes out. A
+	// durable deployment (cmd/raidsrv) writes it next to the WAL so a
+	// crash-restart resumes the monotone sequence. An error from the hook
+	// aborts the recovery: announcing a session that would be forgotten
+	// by the next crash is worse than staying down.
+	PersistSession func(core.SessionNum) error
 }
 
 func (c *Config) fillDefaults() error {
@@ -371,6 +392,14 @@ func New(cfg Config, net transport.Network) (*Site, error) {
 	if cfg.ConcurrentTxns > 1 {
 		gate = cfg.ConcurrentTxns
 	}
+	session := cfg.Session
+	if session == 0 {
+		session = 1
+	}
+	state := core.StatusUp
+	if cfg.StartDown {
+		state = core.StatusDown
+	}
 	s := &Site{
 		cfg:     cfg,
 		pol:     cfg.Policy,
@@ -378,8 +407,8 @@ func New(cfg Config, net transport.Network) (*Site, error) {
 		caller:  transport.NewCaller(ep, cfg.AckTimeout),
 		reg:     cfg.Metrics,
 		tracer:  cfg.Tracer,
-		state:   core.StatusUp,
-		session: 1,
+		state:   state,
+		session: session,
 		vec:     core.NewSessionVector(cfg.Sites),
 		flocks:  core.NewFailLockTable(cfg.Items, cfg.Sites),
 		staged:  make(map[core.TxnID]*stagedTxn),
@@ -388,6 +417,9 @@ func New(cfg Config, net transport.Network) (*Site, error) {
 		txnGate: make(chan struct{}, gate),
 
 		reqSeen: make(map[core.SiteID]*seqWindow),
+	}
+	if cfg.StartDown {
+		s.vec.MarkDown(cfg.ID)
 	}
 	s.replicas.Store(cfg.Replicas)
 	return s, nil
