@@ -45,7 +45,10 @@ func runSoak(args []string) {
 		jitter     = fs.Duration("jitter", 5*time.Millisecond, "max injected per-message latency (keep well below -ack)")
 		delay      = fs.Duration("delay", 0, "per-hop communication cost")
 		ack        = fs.Duration("ack", 50*time.Millisecond, "failure-detection ack timeout")
-		partitions = fs.Bool("partitions", false, "schedule deterministic link faults (partitions, one-way drops, cuts) and reconcile split brain at heals")
+		partitions = fs.Bool("partitions", false, "schedule deterministic link faults (partitions, one-way drops, cuts) and reconcile split brain at heals; with -wan the faults are region-sized")
+		wan        = fs.String("wan", "", "WAN profile for geo-replication: sites assigned round-robin to regions, per-directed-link base delay/jitter/wire cost compiled from the region matrix (empty: flat chaos; try wan2, wan3, wan5)")
+		commitMode = fs.String("commit", "rowaa", "commit mode: rowaa (per-transaction phase two) or epoch (batched fan-out once per commit epoch; requires -policy rowaa)")
+		commitLen  = fs.Duration("commit-epoch", 2*time.Millisecond, "epoch length for -commit epoch (must stay under -ack)")
 		scrubOn    = fs.Bool("scrub", false, "continuous heal: REDO-only instant recovery plus a background scrubber repairing fail-locks alongside the workload (replaces the drain epilogue)")
 		scrubRate  = fs.Float64("scrub-rate", 0, "scrubber budget in items/sec (0: unthrottled)")
 		scrubBatch = fs.Int("scrub-batch", 0, "items per scrub copier transaction (0: scrub default)")
@@ -67,6 +70,14 @@ func runSoak(args []string) {
 	pol, known := policy.ByName(*policyName)
 	if !known {
 		fail(fmt.Errorf("unknown policy %q (want rowaa, rowa or quorum)", *policyName))
+	}
+	var commitEpoch time.Duration
+	switch *commitMode {
+	case "rowaa", "":
+	case "epoch":
+		commitEpoch = *commitLen
+	default:
+		fail(fmt.Errorf("unknown commit mode %q (want rowaa or epoch)", *commitMode))
 	}
 	if *fabric == "proc" {
 		// Chaos probabilities and the transport selector are in-process
@@ -110,6 +121,8 @@ func runSoak(args []string) {
 			MaxJitter: *jitter,
 		},
 		Partitions:     *partitions,
+		WANProfile:     *wan,
+		CommitEpoch:    commitEpoch,
 		Scrub:          *scrubOn,
 		ScrubRate:      *scrubRate,
 		ScrubBatch:     *scrubBatch,
@@ -130,6 +143,12 @@ func runSoak(args []string) {
 	if *partitions {
 		mode = ", partitions on"
 	}
+	if *wan != "" {
+		mode += fmt.Sprintf(", wan %s", *wan)
+	}
+	if commitEpoch > 0 {
+		mode += fmt.Sprintf(", epoch commit %v", commitEpoch)
+	}
 	if *scrubOn {
 		mode += ", scrub on"
 	}
@@ -147,6 +166,12 @@ func runSoak(args []string) {
 	}
 	fmt.Println()
 	fmt.Print(res)
+	if *wan != "" {
+		for _, e := range res.Epochs {
+			fmt.Printf("seed %d epoch %d wan: %s (link matrix fingerprint %016x)\n",
+				e.Seed, e.Epoch, e.WANRegions, e.WANFingerprint)
+		}
+	}
 	if *partitions {
 		for _, e := range res.Epochs {
 			fmt.Printf("seed %d epoch %d partition schedule (fingerprint %016x): %s\n",
@@ -181,8 +206,9 @@ func runSoak(args []string) {
 		}
 	}
 	if *repro && len(res.Epochs) > 0 {
-		if err := verifyRepro(cfg, res.Epochs[0]); err != nil {
-			fmt.Fprintln(os.Stderr, "raid-experiments: soak:", err)
+		reproErr := verifyRepro(cfg, res.Epochs[0])
+		if reproErr != nil {
+			fmt.Fprintln(os.Stderr, "raid-experiments: soak:", reproErr)
 			ok = false
 		} else if res.Epochs[0].Concurrency > 1 || cfg.Scrub {
 			why := fmt.Sprintf("concurrency %d: per-link chaos counters may race and are not compared", res.Epochs[0].Concurrency)
@@ -196,6 +222,10 @@ func runSoak(args []string) {
 			fmt.Printf("\nrepro check: seed %d epoch %d re-run reproduced identical failure events (%d), partition events (%d), workload fingerprint %016x and chaos decisions on %d links\n",
 				res.Epochs[0].Seed, res.Epochs[0].Epoch, len(res.Epochs[0].FailEvents), len(res.Epochs[0].NetEvents),
 				res.Epochs[0].WorkloadFingerprint, len(res.Epochs[0].Chaos))
+		}
+		if reproErr == nil && cfg.WANProfile != "" {
+			fmt.Printf("repro check: wan %s recompiled to the identical link matrix (fingerprint %016x)\n",
+				cfg.WANProfile, res.Epochs[0].WANFingerprint)
 		}
 	}
 	if !ok {
@@ -245,6 +275,10 @@ func verifyRepro(cfg experiment.SoakConfig, first experiment.EpochResult) error 
 	if re.WorkloadFingerprint != first.WorkloadFingerprint {
 		return fmt.Errorf("repro check failed: seed %d epoch %d issued a different workload stream:\nfirst: %016x\nrerun: %016x",
 			first.Seed, first.Epoch, first.WorkloadFingerprint, re.WorkloadFingerprint)
+	}
+	if re.WANFingerprint != first.WANFingerprint || re.WANRegions != first.WANRegions {
+		return fmt.Errorf("repro check failed: seed %d epoch %d compiled a different WAN link matrix:\nfirst: %016x %s\nrerun: %016x %s",
+			first.Seed, first.Epoch, first.WANFingerprint, first.WANRegions, re.WANFingerprint, re.WANRegions)
 	}
 	if first.Concurrency <= 1 && !cfg.Scrub && !reflect.DeepEqual(re.Chaos, first.Chaos) {
 		return fmt.Errorf("repro check failed: seed %d epoch %d produced different chaos decisions:\nfirst: %s\nrerun: %s",

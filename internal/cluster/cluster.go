@@ -72,6 +72,10 @@ type Config struct {
 	// LockWaitBudget bounds a concurrent-mode lock wait at every site;
 	// zero defaults to half the ack timeout (see site.Config).
 	LockWaitBudget time.Duration
+	// CommitEpoch enables epoch-batched commit on every site: phase-two
+	// fan-outs flush once per epoch boundary instead of per transaction
+	// (see site.Config.CommitEpoch). Zero keeps per-transaction commit.
+	CommitEpoch time.Duration
 	// Tracer receives structured trace events from every site and
 	// per-kind message counts from the transport. Nil allocates a shared
 	// recorder with the default capacity.
@@ -175,6 +179,7 @@ func New(cfg Config) (*Cluster, error) {
 			Replicas:                   cfg.Replicas,
 			ConcurrentTxns:             cfg.ConcurrentTxns,
 			LockWaitBudget:             cfg.LockWaitBudget,
+			CommitEpoch:                cfg.CommitEpoch,
 			Tracer:                     cfg.Tracer,
 		}, c.network)
 		if err != nil {

@@ -33,6 +33,12 @@ func (c SoakConfig) validateProc() error {
 	if c.Partitions {
 		return errors.New("experiment: -fabric proc does not support the partition scheduler")
 	}
+	if c.WANProfile != "" {
+		return errors.New("experiment: -fabric proc does not support WAN profiles (the link model is in-process chaos)")
+	}
+	if c.CommitEpoch > 0 {
+		return errors.New("experiment: -fabric proc does not support epoch-batched commit yet")
+	}
 	if c.Scrub {
 		return errors.New("experiment: -fabric proc does not support the background scrubber")
 	}

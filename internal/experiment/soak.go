@@ -14,6 +14,7 @@ import (
 	"minraid/internal/cluster"
 	"minraid/internal/core"
 	"minraid/internal/failure"
+	"minraid/internal/geo"
 	"minraid/internal/metrics"
 	"minraid/internal/msg"
 	"minraid/internal/netsched"
@@ -64,6 +65,20 @@ type SoakConfig struct {
 	// well below Base.AckTimeout so jitter alone never masquerades as a
 	// site failure.
 	Chaos transport.ChaosConfig
+	// WANProfile names a geo-replication profile (internal/geo). Sites
+	// are assigned round-robin to the profile's regions and every
+	// directed link gets a compiled base-delay/jitter/per-message-cost
+	// from the region-pair matrix, asymmetrically skewed per link but
+	// deterministic from the epoch seed. With Partitions on, the
+	// link-fault scheduler switches to region-sized events: whole-region
+	// partitions and one-way inter-region drops. The chaos Drop/Dup
+	// probabilities still apply on top. Empty disables the WAN layer.
+	WANProfile string
+	// CommitEpoch enables epoch-batched commit on every site (see
+	// site.Config.CommitEpoch): phase-two fan-outs and local WAL applies
+	// batch at epoch boundaries instead of per transaction. Requires
+	// ROWAA and must stay under Base.AckTimeout.
+	CommitEpoch time.Duration
 	// MaxDown caps simultaneously failed sites in generated schedules
 	// (default sites-1).
 	MaxDown int
@@ -169,6 +184,12 @@ type EpochResult struct {
 	// Concurrency records the per-site interleaving degree the epoch ran
 	// with (1 = the paper's serial processing).
 	Concurrency int
+	// WANProfile and WANRegions record the compiled geo profile and its
+	// site->region map; WANFingerprint hashes the full compiled link
+	// matrix — the determinism witness -repro compares for WAN runs.
+	// Empty/zero unless the soak ran with a WAN profile.
+	WANProfile, WANRegions string
+	WANFingerprint         uint64
 	// NetEvents is the partition scheduler's event stream in canonical
 	// rendering, and NetFingerprint its FNV-1a hash — the determinism
 	// witness the -repro check compares. Empty unless Partitions is on.
@@ -431,6 +452,35 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 		PartitionAbortReasons: make(map[string]int),
 	}
 
+	// The WAN layer compiles the profile into per-directed-link chaos
+	// overrides, deterministically from the epoch's chaos seed — the
+	// same seed that reruns the epoch recompiles the same link matrix.
+	var wan *geo.Compiled
+	if cfg.WANProfile != "" {
+		p, err := geo.Lookup(cfg.WANProfile)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		wan, err = geo.Compile(p, base.Sites, chaosCfg.Seed)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		// The profile owns latency, jitter and wire cost; the chaos
+		// Drop/Dup probabilities still apply on top of every WAN link
+		// (a per-link override replaces the globals wholesale, so fold
+		// them in here).
+		links := make(map[transport.LinkID]transport.LinkChaos, len(wan.Links))
+		for id, lc := range wan.Links {
+			lc.Drop = chaosCfg.Drop
+			lc.Dup = chaosCfg.Dup
+			links[id] = lc
+		}
+		chaosCfg.Links = links
+		er.WANProfile = p.Name
+		er.WANRegions = wan.String()
+		er.WANFingerprint = wan.Fingerprint()
+	}
+
 	rng := rand.New(rand.NewSource(chaosCfg.Seed))
 	sched, err := failure.Random(failure.RandomConfig{
 		Sites:   base.Sites,
@@ -451,10 +501,20 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 	var top *netsched.Topology
 	if cfg.Partitions {
 		nrng := rand.New(rand.NewSource(netSeed(chaosCfg.Seed)))
-		nsched, err = netsched.Random(netsched.RandomConfig{
-			Sites: base.Sites,
-			Txns:  cfg.TxnsPerEpoch,
-		}, nrng)
+		if wan != nil {
+			// WAN regime: faults are region-sized — whole regions go
+			// dark or blackhole one way toward another region.
+			nsched, err = netsched.RandomRegional(netsched.RegionalConfig{
+				Assign: wan.Assignment,
+				Names:  wan.Profile.Regions,
+				Txns:   cfg.TxnsPerEpoch,
+			}, nrng)
+		} else {
+			nsched, err = netsched.Random(netsched.RandomConfig{
+				Sites: base.Sites,
+				Txns:  cfg.TxnsPerEpoch,
+			}, nrng)
+		}
 		if err != nil {
 			return nil, nil, 0, err
 		}
@@ -470,6 +530,7 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 		ccfg.ConcurrentTxns = cfg.Concurrency
 	}
 	ccfg.LockWaitBudget = cfg.LockWaitBudget
+	ccfg.CommitEpoch = cfg.CommitEpoch
 	er.Concurrency = cfg.Concurrency
 	// Continuous heal: REDO-only instant recovery plus the background
 	// scrubber replace the two-step batch refresh, which is mutually
@@ -550,8 +611,14 @@ func runSoakEpoch(cfg SoakConfig, seed int64, epoch int, txnBase uint64) (*Epoch
 	// settle lets in-flight decision timers (armed 4x the ack timeout
 	// after a lost phase-two decision) expire before a topology change,
 	// so their sends land in a deterministic topology era and the
-	// per-link counters stay reproducible.
-	settle := func() { time.Sleep(5 * base.AckTimeout) }
+	// per-link counters stay reproducible. A WAN profile widens the
+	// budget by its propagation floor: a timer's last send still has to
+	// cross the slowest link before the era flips.
+	settleDelay := 5 * base.AckTimeout
+	if wan != nil {
+		settleDelay += 2 * wan.MaxBaseDelay()
+	}
+	settle := func() { time.Sleep(settleDelay) }
 
 	reconcile := func() (cluster.ReconcileReport, error) {
 		rep, err := c.ReconcileSplitBrain(trueUp, base.AckTimeout)

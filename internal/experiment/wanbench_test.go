@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWANBenchSmoke: a short two-pass run of the WAN commit-mode bench.
+// Both passes must complete audit-clean over the identical seeded
+// workload and land in one comparable report. Throughput ordering is NOT
+// asserted at this scale — a few dozen transactions under WAN delays is
+// noise; the full-size ordering claim lives in the committed BENCH_wan
+// baseline and its CI gate.
+func TestWANBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN bench pays real link delays")
+	}
+	cfg := WANBenchConfig{
+		Txns:        30,
+		Concurrency: 4,
+		WALDir:      t.TempDir(),
+	}
+	rep, err := RunWANBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ROWAA == nil || rep.Epoch == nil {
+		t.Fatalf("report missing a pass: %+v", rep)
+	}
+	for name, m := range map[string]*BenchMode{"rowaa": rep.ROWAA, "epoch": rep.Epoch} {
+		if m.Txns != 30 {
+			t.Errorf("%s pass ran %d txns, want 30", name, m.Txns)
+		}
+		if m.Committed == 0 {
+			t.Errorf("%s pass committed nothing", name)
+		}
+		if m.OpsPerSec <= 0 {
+			t.Errorf("%s pass reports %v ops/sec", name, m.OpsPerSec)
+		}
+	}
+	if rep.WANFingerprint == 0 {
+		t.Error("report carries no WAN matrix fingerprint")
+	}
+	if rep.SpeedupX <= 0 {
+		t.Errorf("speedup not computed: %v", rep.SpeedupX)
+	}
+	if !strings.Contains(rep.Regions, rep.Profile) {
+		t.Errorf("region rendering %q does not name profile %q", rep.Regions, rep.Profile)
+	}
+}
+
+// TestWANBenchSinglePass: -commit rowaa / -commit epoch runs populate only
+// their slot, so separate invocations can be merged into one report.
+func TestWANBenchSinglePass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN bench pays real link delays")
+	}
+	cfg := WANBenchConfig{
+		Txns:        16,
+		Concurrency: 4,
+		WALDir:      t.TempDir(),
+	}
+	rep, err := RunWANBenchOne(cfg, "epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ROWAA != nil || rep.Epoch == nil {
+		t.Fatalf("epoch-only run filled the wrong slots: rowaa=%v epoch=%v", rep.ROWAA, rep.Epoch)
+	}
+	if rep.SpeedupX != 0 {
+		t.Fatalf("speedup computed from a single pass: %v", rep.SpeedupX)
+	}
+	if _, err := RunWANBenchOne(cfg, "both"); err == nil {
+		t.Fatal("RunWANBenchOne accepted an unknown mode")
+	}
+}
+
+// TestWANBenchRejectsOversizedEpoch: the epoch must stay under the ack
+// timeout or a batched commit reads as a lost coordinator.
+func TestWANBenchRejectsOversizedEpoch(t *testing.T) {
+	cfg := WANBenchConfig{
+		CommitEpoch: 3 * time.Second,
+	}
+	if _, err := RunWANBench(cfg); err == nil {
+		t.Fatal("accepted a commit epoch above the ack timeout")
+	}
+}

@@ -1,0 +1,336 @@
+// Package geo compiles named WAN profiles into per-directed-link chaos
+// configurations. A profile assigns sites to named regions round-robin
+// and gives every region pair a one-way base latency, a jitter bound and
+// a per-message serialization cost; Compile turns that matrix into a
+// transport.LinkChaos per directed link, deterministically from
+// (profile, sites, seed).
+//
+// Inter-region delays come out asymmetric on purpose: each directed link
+// perturbs its region-pair base latency by a seeded factor in
+// [1-Skew, 1+Skew], drawn per (seed, profile, from, to) — so A→B and
+// B→A differ, as real WAN routes do, while two runs with the same seed
+// see bit-identical link matrices. The compiled profile fingerprints
+// (region map + link matrix) so -repro can verify a geo run end to end.
+//
+// The paper's experiments model a 9ms LAN hop ("communication delay",
+// §4); the profiles here keep that flavor of scaled-down model time —
+// sub-millisecond intra-region, a few milliseconds cross-region — so WAN
+// regimes stay well inside the harness's ack timeouts while preserving
+// the ~10..30x intra/inter latency ratio that makes commit fan-out cost
+// dominate in geo-replication.
+package geo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/transport"
+)
+
+// Profile is a named WAN shape: regions and the per-region-pair link
+// parameters. Matrices are indexed [from][to] and are typically
+// symmetric — asymmetry is added per directed link at compile time.
+type Profile struct {
+	Name    string
+	Regions []string
+	// Latency is the one-way base propagation delay between regions;
+	// Latency[i][i] is the intra-region delay.
+	Latency [][]time.Duration
+	// Jitter bounds the seeded extra hold on top of the base delay.
+	Jitter [][]time.Duration
+	// PerMsgCost is the per-message wire occupancy (serialization cost):
+	// cross-region pipes are thin, so fan-out bursts on them queue.
+	PerMsgCost [][]time.Duration
+	// Skew is the maximum fractional perturbation of a directed link's
+	// base latency: each link draws a factor in [1-Skew, 1+Skew].
+	Skew float64
+}
+
+// validate checks the profile's matrix dimensions.
+func (p Profile) validate() error {
+	n := len(p.Regions)
+	if n < 2 {
+		return fmt.Errorf("geo: profile %q has %d region(s), need >= 2", p.Name, n)
+	}
+	for name, m := range map[string][][]time.Duration{
+		"latency": p.Latency, "jitter": p.Jitter, "permsgcost": p.PerMsgCost,
+	} {
+		if len(m) != n {
+			return fmt.Errorf("geo: profile %q %s matrix is %dx, need %dx%d", p.Name, name, len(m), n, n)
+		}
+		for i, row := range m {
+			if len(row) != n {
+				return fmt.Errorf("geo: profile %q %s row %d has %d entries, need %d", p.Name, name, i, len(row), n)
+			}
+		}
+	}
+	if p.Skew < 0 || p.Skew >= 1 {
+		return fmt.Errorf("geo: profile %q skew %v out of [0,1)", p.Name, p.Skew)
+	}
+	return nil
+}
+
+// sym builds a symmetric matrix from the upper triangle given as
+// pairs[i][j-i-1] for j > i, with diag on the diagonal.
+func sym(n int, diag time.Duration, pairs ...time.Duration) [][]time.Duration {
+	m := make([][]time.Duration, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+		m[i][i] = diag
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m[i][j] = pairs[k]
+			m[j][i] = pairs[k]
+			k++
+		}
+	}
+	return m
+}
+
+// uniform builds an n x n matrix with diag on the diagonal and off
+// everywhere else.
+func uniform(n int, diag, off time.Duration) [][]time.Duration {
+	m := make([][]time.Duration, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+		for j := range m[i] {
+			if i == j {
+				m[i][j] = diag
+			} else {
+				m[i][j] = off
+			}
+		}
+	}
+	return m
+}
+
+// profiles holds the built-in WAN shapes. Latencies are model-time (see
+// package comment): intra-region links are LAN-ish, cross-region links
+// are 10-30x slower with thin pipes.
+var profiles = map[string]Profile{
+	"wan2": {
+		Name:    "wan2",
+		Regions: []string{"us-east", "eu-west"},
+		Latency: sym(2, 200*time.Microsecond,
+			3*time.Millisecond), // us<->eu
+		Jitter: sym(2, 100*time.Microsecond,
+			600*time.Microsecond),
+		PerMsgCost: uniform(2, 20*time.Microsecond, 150*time.Microsecond),
+		Skew:       0.25,
+	},
+	"wan3": {
+		Name:    "wan3",
+		Regions: []string{"us-east", "eu-west", "ap-south"},
+		Latency: sym(3, 200*time.Microsecond,
+			3*time.Millisecond, // us<->eu
+			6*time.Millisecond, // us<->ap
+			5*time.Millisecond, // eu<->ap
+		),
+		Jitter: sym(3, 100*time.Microsecond,
+			600*time.Microsecond,
+			1200*time.Microsecond,
+			1000*time.Microsecond,
+		),
+		PerMsgCost: uniform(3, 20*time.Microsecond, 150*time.Microsecond),
+		Skew:       0.25,
+	},
+	"wan5": {
+		Name:    "wan5",
+		Regions: []string{"us-east", "us-west", "eu-west", "ap-south", "ap-east"},
+		Latency: sym(5, 200*time.Microsecond,
+			1500*time.Microsecond, // use<->usw
+			3*time.Millisecond,    // use<->euw
+			6*time.Millisecond,    // use<->aps
+			7*time.Millisecond,    // use<->ape
+			4*time.Millisecond,    // usw<->euw
+			5*time.Millisecond,    // usw<->aps
+			4*time.Millisecond,    // usw<->ape
+			5*time.Millisecond,    // euw<->aps
+			6*time.Millisecond,    // euw<->ape
+			2*time.Millisecond,    // aps<->ape
+		),
+		Jitter: sym(5, 100*time.Microsecond,
+			300*time.Microsecond,
+			600*time.Microsecond,
+			1200*time.Microsecond,
+			1400*time.Microsecond,
+			800*time.Microsecond,
+			1000*time.Microsecond,
+			800*time.Microsecond,
+			1000*time.Microsecond,
+			1200*time.Microsecond,
+			400*time.Microsecond,
+		),
+		PerMsgCost: uniform(5, 20*time.Microsecond, 150*time.Microsecond),
+		Skew:       0.25,
+	},
+}
+
+// Names lists the built-in profile names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the built-in profile by name.
+func Lookup(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("geo: unknown WAN profile %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return p, nil
+}
+
+// Compiled is a profile instantiated over a concrete site count and
+// seed: the region assignment and the full per-directed-link chaos
+// matrix, plus the fingerprint -repro verifies.
+type Compiled struct {
+	Profile    Profile
+	Sites      int
+	Seed       int64
+	Assignment []int // site id -> region index
+	Links      map[transport.LinkID]transport.LinkChaos
+}
+
+// Compile instantiates p over sites database sites. Sites are assigned
+// to regions round-robin (site i -> region i mod regions), and every
+// directed inter-site link gets a LinkChaos from the region-pair matrix,
+// with the base latency perturbed asymmetrically by a factor drawn from
+// (seed, profile name, from, to). Identical inputs compile to identical
+// link matrices.
+func Compile(p Profile, sites int, seed int64) (*Compiled, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if sites < len(p.Regions) {
+		return nil, fmt.Errorf("geo: %d sites cannot populate %d regions of profile %q", sites, len(p.Regions), p.Name)
+	}
+	if sites > core.MaxSites {
+		return nil, fmt.Errorf("geo: %d sites out of range", sites)
+	}
+	c := &Compiled{
+		Profile:    p,
+		Sites:      sites,
+		Seed:       seed,
+		Assignment: make([]int, sites),
+		Links:      make(map[transport.LinkID]transport.LinkChaos, sites*(sites-1)),
+	}
+	for i := 0; i < sites; i++ {
+		c.Assignment[i] = i % len(p.Regions)
+	}
+	nameH := fnv.New64a()
+	nameH.Write([]byte(p.Name))
+	nameSeed := int64(nameH.Sum64())
+	for a := 0; a < sites; a++ {
+		for b := 0; b < sites; b++ {
+			if a == b {
+				continue
+			}
+			ra, rb := c.Assignment[a], c.Assignment[b]
+			base := p.Latency[ra][rb]
+			if p.Skew > 0 {
+				// Perturb per directed link: u in [0,1) from a pure
+				// function of (seed, profile, from, to), so A->B and B->A
+				// skew independently and map iteration order is
+				// irrelevant.
+				u := float64(mix64(uint64(seed)^uint64(nameSeed), uint64(a), uint64(b))>>11) / (1 << 53)
+				base = time.Duration(float64(base) * (1 + p.Skew*(2*u-1)))
+			}
+			c.Links[transport.LinkID{From: core.SiteID(a), To: core.SiteID(b)}] = transport.LinkChaos{
+				BaseDelay:  base,
+				MaxJitter:  p.Jitter[ra][rb],
+				PerMsgCost: p.PerMsgCost[ra][rb],
+			}
+		}
+	}
+	return c, nil
+}
+
+// mix64 is a splitmix64-style hash of three words, matching the spirit
+// of transport's linkSeed but independent of it — link rng streams and
+// latency skews must not correlate.
+func mix64(a, b, c uint64) uint64 {
+	z := a ^ (b+1)*0x9E3779B97F4A7C15 ^ (c+1)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// RegionSites returns the sites assigned to region r, ascending.
+func (c *Compiled) RegionSites(r int) []core.SiteID {
+	var out []core.SiteID
+	for i, a := range c.Assignment {
+		if a == r {
+			out = append(out, core.SiteID(i))
+		}
+	}
+	return out
+}
+
+// MaxBaseDelay returns the largest compiled one-way base delay — the
+// worst-case propagation a harness should budget its settle times for.
+func (c *Compiled) MaxBaseDelay() time.Duration {
+	var max time.Duration
+	for _, lc := range c.Links {
+		if lc.BaseDelay > max {
+			max = lc.BaseDelay
+		}
+	}
+	return max
+}
+
+// Fingerprint hashes the region map and the full compiled link matrix
+// (FNV-1a over a canonical rendering). Two compilations fingerprint
+// equal exactly when profile, site count, assignment and every per-link
+// parameter match — the witness -repro compares for geo runs.
+func (c *Compiled) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", c.Profile.Name, c.Sites, c.Seed)
+	for i, r := range c.Assignment {
+		fmt.Fprintf(h, "|%d:%s", i, c.Profile.Regions[r])
+	}
+	links := make([]transport.LinkID, 0, len(c.Links))
+	for id := range c.Links {
+		links = append(links, id)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	for _, id := range links {
+		lc := c.Links[id]
+		fmt.Fprintf(h, "|%d->%d:%d/%d/%d/%v/%v", id.From, id.To,
+			lc.BaseDelay.Nanoseconds(), lc.MaxJitter.Nanoseconds(), lc.PerMsgCost.Nanoseconds(), lc.Drop, lc.Dup)
+	}
+	return h.Sum64()
+}
+
+// String renders the region map compactly, e.g.
+// "wan3 us-east={0,3} eu-west={1,4} ap-south={2}".
+func (c *Compiled) String() string {
+	var b strings.Builder
+	b.WriteString(c.Profile.Name)
+	for r, name := range c.Profile.Regions {
+		ids := make([]string, 0, 2)
+		for _, s := range c.RegionSites(r) {
+			ids = append(ids, fmt.Sprintf("%d", s))
+		}
+		fmt.Fprintf(&b, " %s={%s}", name, strings.Join(ids, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package geo
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+	"minraid/internal/transport"
+)
+
+func TestLookupKnowsBuiltins(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("Lookup(%s) returned profile %q", name, p.Name)
+		}
+	}
+	if _, err := Lookup("wan99"); err == nil {
+		t.Fatal("Lookup accepted an unknown profile")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	p, err := Lookup("wan3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Compile(p, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(p, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Links, b.Links) {
+		t.Fatal("same (profile, sites, seed) compiled different link matrices")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+
+	c, err := Compile(p, 6, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+
+	p2, err := Lookup("wan2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compile(p2, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different profiles produced identical fingerprints")
+	}
+}
+
+func TestCompileRoundRobinAssignment(t *testing.T) {
+	p, err := Lookup("wan3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 0, 1}; !reflect.DeepEqual(c.Assignment, want) {
+		t.Fatalf("assignment = %v, want %v", c.Assignment, want)
+	}
+	if want := []core.SiteID{0, 3}; !reflect.DeepEqual(c.RegionSites(0), want) {
+		t.Fatalf("RegionSites(0) = %v, want %v", c.RegionSites(0), want)
+	}
+	if got := c.String(); got != "wan3 us-east={0,3} eu-west={1,4} ap-south={2}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestCompileAsymmetricSkew: the two directions of an inter-region link
+// draw independent skews, so A->B and B->A differ, while both stay within
+// the profile's skew band around the region-pair base latency.
+func TestCompileAsymmetricSkew(t *testing.T) {
+	p, err := Lookup("wan3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asym := 0
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			ab := c.Links[transport.LinkID{From: core.SiteID(a), To: core.SiteID(b)}]
+			ba := c.Links[transport.LinkID{From: core.SiteID(b), To: core.SiteID(a)}]
+			if ab.BaseDelay != ba.BaseDelay {
+				asym++
+			}
+			base := p.Latency[c.Assignment[a]][c.Assignment[b]]
+			lo := time.Duration(float64(base) * (1 - p.Skew))
+			hi := time.Duration(float64(base) * (1 + p.Skew))
+			for _, d := range []time.Duration{ab.BaseDelay, ba.BaseDelay} {
+				if d < lo || d > hi {
+					t.Fatalf("link %d<->%d base delay %v outside [%v, %v]", a, b, d, lo, hi)
+				}
+			}
+		}
+	}
+	if asym == 0 {
+		t.Fatal("every inter-region link pair compiled symmetric delays")
+	}
+}
+
+// TestCompileIntraVsInter: intra-region links come out faster than
+// inter-region ones even after skew — the ratio the WAN regime is about.
+func TestCompileIntraVsInter(t *testing.T) {
+	p, err := Lookup("wan3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sites 0 and 3 share us-east; site 1 is eu-west.
+	intra := c.Links[transport.LinkID{From: 0, To: 3}]
+	inter := c.Links[transport.LinkID{From: 0, To: 1}]
+	if intra.BaseDelay >= inter.BaseDelay {
+		t.Fatalf("intra-region base %v not below inter-region %v", intra.BaseDelay, inter.BaseDelay)
+	}
+	if intra.PerMsgCost >= inter.PerMsgCost {
+		t.Fatalf("intra-region wire cost %v not below inter-region %v", intra.PerMsgCost, inter.PerMsgCost)
+	}
+	if max := c.MaxBaseDelay(); max < inter.BaseDelay {
+		t.Fatalf("MaxBaseDelay %v below a compiled link's %v", max, inter.BaseDelay)
+	}
+}
+
+func TestCompileRejectsBadInputs(t *testing.T) {
+	p, err := Lookup("wan3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(p, 2, 1); err == nil {
+		t.Fatal("compiled 2 sites over 3 regions")
+	}
+	bad := p
+	bad.Skew = 1.5
+	if _, err := Compile(bad, 6, 1); err == nil {
+		t.Fatal("accepted skew outside [0,1)")
+	}
+	bad = p
+	bad.Latency = bad.Latency[:2]
+	if _, err := Compile(bad, 6, 1); err == nil {
+		t.Fatal("accepted a truncated latency matrix")
+	}
+}

@@ -72,6 +72,11 @@ const (
 	KindCtrlRehost    // managing site -> sites: re-home a lost site's copies
 	KindCtrlRehostAck //
 
+	// Epoch-batched commit (appended): one phase-two fan-out per commit
+	// epoch instead of per transaction.
+	KindCommitBatch    // coordinator -> participant: commit these staged txns
+	KindCommitBatchAck // participant -> coordinator
+
 	numKinds // sentinel, keep last
 )
 
@@ -107,6 +112,8 @@ var kindNames = [...]string{
 	KindCtrlLockSyncAck:   "ctrl-lock-sync-ack",
 	KindCtrlRehost:        "ctrl-rehost",
 	KindCtrlRehostAck:     "ctrl-rehost-ack",
+	KindCommitBatch:       "commit-batch",
+	KindCommitBatchAck:    "commit-batch-ack",
 }
 
 // String implements fmt.Stringer.
@@ -122,10 +129,10 @@ func (k Kind) String() string {
 // caller instead of the site's request handler.
 func (k Kind) IsReply() bool {
 	switch k {
-	case KindTxnResult, KindPrepareAck, KindCommitAck, KindCopyResponse,
-		KindClearFailLocksAck, KindCtrlRecoverAck, KindCtrlFailAck,
-		KindCtrlReplicateAck, KindCtrlLockSyncAck, KindCtrlRehostAck,
-		KindReadResp, KindStatusResp, KindDumpResp:
+	case KindTxnResult, KindPrepareAck, KindCommitAck, KindCommitBatchAck,
+		KindCopyResponse, KindClearFailLocksAck, KindCtrlRecoverAck,
+		KindCtrlFailAck, KindCtrlReplicateAck, KindCtrlLockSyncAck,
+		KindCtrlRehostAck, KindReadResp, KindStatusResp, KindDumpResp:
 		return true
 	}
 	return false

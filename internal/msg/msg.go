@@ -139,6 +139,10 @@ func newBody(kind Kind) Body {
 		return &CtrlRehost{}
 	case KindCtrlRehostAck:
 		return &CtrlRehostAck{}
+	case KindCommitBatch:
+		return &CommitBatch{}
+	case KindCommitBatchAck:
+		return &CommitBatchAck{}
 	case KindReadReq:
 		return &ReadReq{}
 	case KindReadResp:

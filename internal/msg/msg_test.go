@@ -116,8 +116,8 @@ func TestIsReplyPartition(t *testing.T) {
 		KindCopyResponse: true, KindClearFailLocksAck: true,
 		KindCtrlRecoverAck: true, KindCtrlFailAck: true,
 		KindCtrlReplicateAck: true, KindCtrlLockSyncAck: true,
-		KindCtrlRehostAck: true,
-		KindReadResp:      true, KindStatusResp: true, KindDumpResp: true,
+		KindCtrlRehostAck: true, KindCommitBatchAck: true,
+		KindReadResp: true, KindStatusResp: true, KindDumpResp: true,
 	}
 	for k := KindInvalid + 1; k < numKinds; k++ {
 		if got := k.IsReply(); got != replies[k] {

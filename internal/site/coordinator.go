@@ -341,6 +341,15 @@ func (s *Site) executeTxn(t txn.Txn, tr uint64) txn.Result {
 		}
 	}
 
+	// Epoch mode: hand the decided transaction to the batcher, which
+	// flushes phase two once per commit epoch and re-validates the
+	// decision at the flush (the batch widens the window a recovery can
+	// slip into). The wait is the late result release — the client's ack
+	// rides the flush.
+	if s.epoch != nil {
+		return s.epochCommit(res, writes, localWrites, commitVersions, acked, vec, rep, tr)
+	}
+
 	// Phase two: "send commit indication to participating sites". A
 	// missing commit ack triggers a type-2 announcement but the
 	// transaction still commits (Appendix A.1).

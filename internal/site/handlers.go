@@ -33,6 +33,8 @@ func (s *Site) handle(env *msg.Envelope) {
 		}
 	case *msg.Commit:
 		s.handleCommit(env, body)
+	case *msg.CommitBatch:
+		s.handleCommitBatch(env, body)
 	case *msg.Abort:
 		s.handleAbort(body)
 	case *msg.CopyRequest:

@@ -37,6 +37,12 @@ func (s *Site) failNow() {
 		s.locks = newLockManager(s.cfg)
 	}
 	s.mu.Unlock()
+	if s.epoch != nil {
+		// The batch is volatile 2PC state: wake its waiters with
+		// AbortSiteDown (they stay silent — the site is down) and let the
+		// participants' decision timers discard their staged halves.
+		s.epoch.drain()
+	}
 	s.caller.CancelAll()
 }
 

@@ -188,6 +188,17 @@ type Config struct {
 	// Site failures need no such care — fail-locks exist precisely to
 	// absorb them.
 	ConcurrentTxns int
+	// CommitEpoch enables epoch-batched commit: the coordinator
+	// accumulates transactions past their commit decision and flushes the
+	// phase-two fan-out once per epoch boundary — one CommitBatch per
+	// participant, one WAL group-commit window, commit acks collected off
+	// the critical path (see internal/site/epoch.go). Results release at
+	// the flush, so client latency gains up to one epoch while the
+	// per-transaction WAN fan-out cost collapses. Zero keeps the paper's
+	// per-transaction phase two. Requires ROWAA, and must stay under
+	// AckTimeout: a participant's decision timer (4x AckTimeout) must
+	// absorb the flush delay without suspecting the coordinator.
+	CommitEpoch time.Duration
 	// LockWaitBudget bounds how long a concurrent-mode transaction waits
 	// for one lock before aborting with a retriable timeout. Zero
 	// defaults to AckTimeout/2. It must stay well under AckTimeout: a
@@ -284,6 +295,14 @@ func (c *Config) fillDefaults() error {
 			return fmt.Errorf("site: concurrent mode requires full replication")
 		}
 	}
+	if c.CommitEpoch > 0 {
+		if c.Policy.Name() != "rowaa" {
+			return fmt.Errorf("site: epoch-batched commit requires the rowaa policy, not %s", c.Policy.Name())
+		}
+		if c.CommitEpoch >= c.AckTimeout {
+			return fmt.Errorf("site: commit epoch %v must stay under the ack timeout %v (a batched commit must not look like a lost coordinator)", c.CommitEpoch, c.AckTimeout)
+		}
+	}
 	return nil
 }
 
@@ -358,6 +377,8 @@ type Site struct {
 	// Replaced wholesale on simulated failure (process lock state dies
 	// with the process).
 	locks *lockmgr.Manager
+	// epoch batches commit fan-outs; non-nil only when CommitEpoch > 0.
+	epoch *epochBatcher
 
 	// reqSeen tracks, per sender, a bounded window of request sequence
 	// numbers already handled. A chaotic transport can deliver a request
@@ -422,6 +443,7 @@ func New(cfg Config, net transport.Network) (*Site, error) {
 		s.vec.MarkDown(cfg.ID)
 	}
 	s.replicas.Store(cfg.Replicas)
+	s.epoch = newEpochBatcher(s)
 	return s, nil
 }
 
@@ -496,6 +518,11 @@ func (s *Site) Stop() {
 		s.state = core.StatusTerminating
 		s.mu.Unlock()
 		s.caller.CancelAll()
+		if s.epoch != nil {
+			// After CancelAll so in-flight ack collectors unblock; before
+			// the endpoint closes so drained waiters see a live caller.
+			s.epoch.shutdown()
+		}
 		s.ep.Close()
 	})
 	s.wg.Wait()

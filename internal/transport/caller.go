@@ -203,6 +203,49 @@ func (c *Caller) MulticastT(trace uint64, calls []Outcall) []CallResult {
 	return out
 }
 
+// MulticastAsyncT sends every call like MulticastT but returns as soon as
+// the requests are on the wire; the returned join function collects the
+// per-slot outcomes under the shared deadline, which starts at send time.
+// The epoch-commit flush uses it to release transaction results the
+// moment the commit batch is sent, collecting commit acks (and detecting
+// lost participants) off the critical path. join must be called exactly
+// once; the registered slots leak otherwise.
+func (c *Caller) MulticastAsyncT(trace uint64, calls []Outcall) func() []CallResult {
+	out := make([]CallResult, len(calls))
+	seqs := make([]uint64, len(calls))
+	chans := make([]chan delivered, len(calls))
+	start := time.Now()
+	for i, call := range calls {
+		out[i].To = call.To
+		seq, ch := c.register()
+		c.sent.Add(1)
+		if err := c.ep.Send(&msg.Envelope{To: call.To, Seq: seq, Trace: trace, Body: call.Body}); err != nil {
+			c.unregister(seq)
+			out[i].Err = err
+			continue
+		}
+		seqs[i], chans[i] = seq, ch
+	}
+	timer := time.NewTimer(c.timeout)
+	return func() []CallResult {
+		defer timer.Stop()
+		for i := range calls {
+			if chans[i] == nil {
+				continue
+			}
+			d, err := c.await(chans[i], timer)
+			c.unregister(seqs[i])
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			out[i].Reply = d.env
+			out[i].RTT = d.at.Sub(start)
+		}
+		return out
+	}
+}
+
 // await waits for one reply on ch or for the (shared) timer to fire.
 // The timer is not reset between calls, implementing a single deadline
 // across a multicast: a reply that beat the deadline sits buffered in its

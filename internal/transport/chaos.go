@@ -30,6 +30,20 @@ type ChaosConfig struct {
 	// Per-link FIFO order is preserved — jitter delays messages, it never
 	// reorders them.
 	MaxJitter time.Duration
+	// BaseDelay is a deterministic per-message latency floor: every
+	// delivered message is held for BaseDelay plus its jitter draw, so
+	// delivery latency is Base + [0, MaxJitter] rather than [0, MaxJitter]
+	// (which lets a nominally slow link deliver in 0ns). BaseDelay burns
+	// no rng draw and is not counted in JitterTotal — the jitter
+	// fingerprint stays an exact record of the rng stream, cut links
+	// included.
+	BaseDelay time.Duration
+	// Links overrides the fault parameters per directed link. A link with
+	// an entry uses exactly that entry; a link without one uses the global
+	// Drop/Dup/BaseDelay/MaxJitter fields. This is how WAN profiles give
+	// every region pair its own latency and bandwidth while the rng
+	// seeding stays per-link as before.
+	Links map[LinkID]LinkChaos
 	// ExemptManager leaves links to and from the managing site untouched.
 	// The managing site is the experimenter's out-of-band console (§1.2);
 	// soak runs keep its control and measurement channel reliable while
@@ -37,10 +51,51 @@ type ChaosConfig struct {
 	ExemptManager bool
 }
 
+// LinkChaos is one directed link's fault parameters, used as a per-link
+// override of the global ChaosConfig fields.
+type LinkChaos struct {
+	// Drop and Dup are per-message probabilities, as in ChaosConfig.
+	Drop float64
+	Dup  float64
+	// BaseDelay is the deterministic propagation floor; MaxJitter bounds
+	// the seeded extra hold on top of it.
+	BaseDelay time.Duration
+	MaxJitter time.Duration
+	// PerMsgCost is the wire occupancy per message — a serialization
+	// (bandwidth) cost. The link transmits at most one message per
+	// PerMsgCost: unlike BaseDelay, which pipelines (messages in flight
+	// overlap), serialization time is paid back to back, so fan-out
+	// bursts on a thin link queue behind each other. Deterministic, no
+	// rng draw, not counted in JitterTotal.
+	PerMsgCost time.Duration
+}
+
+// active reports whether the link config injects any fault at all.
+func (lc LinkChaos) active() bool {
+	return lc.Drop > 0 || lc.Dup > 0 || lc.MaxJitter > 0 || lc.BaseDelay > 0 || lc.PerMsgCost > 0
+}
+
 // Active reports whether the config injects any probabilistic fault at
 // all (administrative cuts via SetLinkDown work regardless).
 func (c ChaosConfig) Active() bool {
-	return c.Drop > 0 || c.Dup > 0 || c.MaxJitter > 0
+	if c.Drop > 0 || c.Dup > 0 || c.MaxJitter > 0 || c.BaseDelay > 0 {
+		return true
+	}
+	for _, lc := range c.Links {
+		if lc.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// linkChaos resolves the effective fault parameters for one directed
+// link: its Links override when present, the global fields otherwise.
+func (c ChaosConfig) linkChaos(from, to core.SiteID) LinkChaos {
+	if lc, ok := c.Links[LinkID{From: from, To: to}]; ok {
+		return lc
+	}
+	return LinkChaos{Drop: c.Drop, Dup: c.Dup, BaseDelay: c.BaseDelay, MaxJitter: c.MaxJitter}
 }
 
 // LinkID names one directed link of the network.
@@ -211,12 +266,15 @@ func (c *Chaos) TotalStats() LinkStats {
 }
 
 // exempt reports whether the directed link from->to bypasses fault
-// injection.
+// injection: manager links under ExemptManager, and any link whose
+// effective (per-link or global) config injects nothing — so a Links
+// map that touches some links leaves the others byte-for-byte
+// pass-throughs, exactly like a fully inactive config does.
 func (c *Chaos) exempt(from, to core.SiteID) bool {
-	if !c.cfg.Active() {
+	if c.cfg.ExemptManager && (from == core.ManagingSite || to == core.ManagingSite) {
 		return true
 	}
-	return c.cfg.ExemptManager && (from == core.ManagingSite || to == core.ManagingSite)
+	return !c.cfg.linkChaos(from, to).active()
 }
 
 // linkFor returns the fault pipeline for from->to, creating it (and its
@@ -231,7 +289,7 @@ func (c *Chaos) linkFor(from, to core.SiteID, inner Endpoint) (*chaosLink, error
 	l, ok := c.links[key]
 	if !ok {
 		l = &chaosLink{
-			cfg:   c.cfg,
+			cfg:   c.cfg.linkChaos(from, to),
 			rng:   rand.New(rand.NewSource(linkSeed(c.cfg.Seed, from, to))),
 			inner: inner,
 			q:     newQueue[chaosItem](),
@@ -272,7 +330,7 @@ type chaosItem struct {
 // only on the message's position in the link's send order, never on
 // wall-clock timing or cross-link interleaving.
 type chaosLink struct {
-	cfg   ChaosConfig
+	cfg   LinkChaos
 	rng   *rand.Rand
 	inner Endpoint
 	q     *queue[chaosItem]
@@ -313,10 +371,17 @@ func (l *chaosLink) run() {
 		if dropped {
 			continue
 		}
-		if d := jitter - time.Since(it.at); d > 0 {
-			// Hold until enqueueTime+jitter, not jitter after the previous
-			// delivery: messages pipeline, FIFO order is kept by the single
-			// forwarder.
+		if l.cfg.PerMsgCost > 0 {
+			// Serialization: the wire carries one message at a time, so
+			// this cost is paid per pop, back to back — a burst of k
+			// messages occupies the link for k*PerMsgCost even though
+			// propagation below pipelines.
+			time.Sleep(l.cfg.PerMsgCost)
+		}
+		if d := l.cfg.BaseDelay + jitter - time.Since(it.at); d > 0 {
+			// Hold until enqueueTime+base+jitter, not base+jitter after the
+			// previous delivery: propagation pipelines, FIFO order is kept
+			// by the single forwarder.
 			time.Sleep(d)
 		}
 		// Send errors (shutdown races, partitioned inner links) are the

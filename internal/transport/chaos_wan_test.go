@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"minraid/internal/core"
+)
+
+// TestChaosBaseDelayFloor: a per-link BaseDelay is a deterministic
+// propagation floor — every delivery waits at least BaseDelay, the floor
+// never enters JitterTotal, and queued messages pipeline (k messages
+// cost ~1 BaseDelay, not k).
+func TestChaosBaseDelayFloor(t *testing.T) {
+	const (
+		k    = 8
+		base = 40 * time.Millisecond
+	)
+	inner := NewMemory(MemoryConfig{Sites: 2})
+	ch := NewChaos(inner, ChaosConfig{
+		Seed: 1,
+		Links: map[LinkID]LinkChaos{
+			{From: 0, To: 1}: {BaseDelay: base},
+		},
+	})
+	defer ch.Close()
+	a, _ := ch.Endpoint(0)
+	b, _ := ch.Endpoint(1)
+
+	start := time.Now()
+	for i := 1; i <= k; i++ {
+		if err := a.Send(commitEnv(1, core.TxnID(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= k; i++ {
+		if env, ok := b.Recv(); !ok || env.Seq != uint64(i) {
+			t.Fatalf("recv %d: %v %v", i, env, ok)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < base {
+		t.Fatalf("messages arrived after %v, under the %v base delay", elapsed, base)
+	}
+	if limit := 2 * base; elapsed > limit {
+		t.Fatalf("draining %d messages took %v, want < %v (pipelined), serial would be %v",
+			k, elapsed, limit, k*base)
+	}
+	st := ch.Stats()[LinkID{From: 0, To: 1}]
+	if st.Sent != k || st.Dropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.JitterTotal != 0 {
+		t.Fatalf("base delay leaked into JitterTotal: %v", st.JitterTotal)
+	}
+}
+
+// TestChaosPerMsgCostSerializes: PerMsgCost models wire occupancy — k
+// messages on one link take at least k*cost, the opposite of the
+// pipelined BaseDelay.
+func TestChaosPerMsgCostSerializes(t *testing.T) {
+	const (
+		k    = 10
+		cost = 5 * time.Millisecond
+	)
+	inner := NewMemory(MemoryConfig{Sites: 2})
+	ch := NewChaos(inner, ChaosConfig{
+		Seed: 1,
+		Links: map[LinkID]LinkChaos{
+			{From: 0, To: 1}: {PerMsgCost: cost},
+		},
+	})
+	defer ch.Close()
+	a, _ := ch.Endpoint(0)
+	b, _ := ch.Endpoint(1)
+
+	start := time.Now()
+	for i := 1; i <= k; i++ {
+		if err := a.Send(commitEnv(1, core.TxnID(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= k; i++ {
+		if env, ok := b.Recv(); !ok || env.Seq != uint64(i) {
+			t.Fatalf("recv %d: %v %v", i, env, ok)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < k*cost {
+		t.Fatalf("draining %d messages took %v, want >= %v (serialized wire)", k, elapsed, k*cost)
+	}
+}
+
+// TestChaosLinkOverridesAreScoped: a per-link override applies to that
+// directed link only; every other link keeps the global config.
+func TestChaosLinkOverridesAreScoped(t *testing.T) {
+	inner := NewMemory(MemoryConfig{Sites: 2})
+	ch := NewChaos(inner, ChaosConfig{
+		Seed: 3,
+		Links: map[LinkID]LinkChaos{
+			{From: 0, To: 1}: {Drop: 1},
+		},
+	})
+	defer ch.Close()
+	a, _ := ch.Endpoint(0)
+	b, _ := ch.Endpoint(1)
+
+	const n = 10
+	for i := 1; i <= n; i++ {
+		if err := a.Send(commitEnv(1, core.TxnID(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(commitEnv(0, core.TxnID(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The overridden direction drops everything; the reverse direction has
+	// no active config at all and passes straight through.
+	for i := 1; i <= n; i++ {
+		if env, ok := a.Recv(); !ok || env.Seq != uint64(i) {
+			t.Fatalf("reverse recv %d: %v %v", i, env, ok)
+		}
+	}
+	if err := ch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := ch.Stats()
+	if got := st[LinkID{From: 0, To: 1}]; got.Sent != n || got.Dropped != n {
+		t.Fatalf("overridden link stats: %+v", got)
+	}
+	if _, ok := st[LinkID{From: 1, To: 0}]; ok {
+		t.Fatalf("inactive reverse link entered a fault pipeline: %+v", st)
+	}
+}
+
+// TestChaosBaseDelayDeterministicFingerprint: adding a base-delay floor
+// changes wall-clock timing but not the decision streams — two runs with
+// the same seed still produce identical counters, including JitterTotal.
+func TestChaosBaseDelayDeterministicFingerprint(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed: 7, Drop: 0.2, Dup: 0.2, MaxJitter: time.Millisecond,
+		Links: map[LinkID]LinkChaos{
+			{From: 0, To: 1}: {Drop: 0.2, Dup: 0.2, MaxJitter: time.Millisecond, BaseDelay: 2 * time.Millisecond},
+		},
+	}
+	a := chaosRun(t, cfg, 200)
+	b := chaosRun(t, cfg, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged with a base-delay link:\n%v\n%v", a, b)
+	}
+	if a[LinkID{From: 0, To: 1}].JitterTotal == 0 {
+		t.Fatal("jitter never fired on the overridden link")
+	}
+}
